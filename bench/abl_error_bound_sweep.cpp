@@ -1,0 +1,69 @@
+/// Ablation: error-bound sweep across all three methods — extends Fig. 2
+/// (CG only in the paper) to Jacobi and GMRES, and couples each bound to
+/// the checkpoint size it buys. This quantifies the paper's central
+/// trade-off (Theorem 1): looser bounds shrink checkpoints but may cost
+/// extra iterations.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "compress/sz/sz_like.hpp"
+
+int main() {
+  using namespace lck;
+  bench::banner("Ablation — extra iterations & ckpt size vs error bound",
+                "extends Tao et al., HPDC'18, Figure 2 to all methods");
+
+  struct Case {
+    const char* method;
+    index_t grid;
+    double rtol;
+  };
+  const Case cases[] = {{"jacobi", 12, 1e-6}, {"gmres", 12, 1e-7},
+                        {"cg", 16, 1e-7}};
+
+  std::printf("%-8s %-10s %-16s %-12s %-12s\n", "method", "eb",
+              "extra iters(%)", "ratio", "baselineN");
+  Rng rng(77);
+  for (const auto& c : cases) {
+    const LocalProblem p =
+        make_local_problem(c.method, c.grid, c.rtol, 200000, false);
+    auto baseline = p.make_solver();
+    baseline->solve();
+    const index_t n_base = baseline->iteration();
+
+    for (const double eb : {1e-2, 1e-3, 1e-4, 1e-6}) {
+      SzLikeCompressor sz(ErrorBound::pointwise_rel(eb));
+      RunningStats extra, ratio;
+      for (int t = 0; t < 8; ++t) {
+        auto solver = p.make_solver();
+        const index_t fail_at = static_cast<index_t>(
+            (0.3 + 0.4 * rng.uniform()) * static_cast<double>(n_base));
+        for (index_t i = 0; i < fail_at && !solver->converged(); ++i)
+          solver->step();
+        const auto stream = sz.compress(solver->solution());
+        ratio.add(static_cast<double>(solver->solution().size() *
+                                      sizeof(double)) /
+                  static_cast<double>(stream.size()));
+        Vector recovered(solver->solution().size());
+        sz.decompress(stream, recovered);
+        solver->restart(recovered);
+        solver->solve();
+        extra.add(100.0 *
+                  static_cast<double>(solver->iteration() - n_base) /
+                  static_cast<double>(n_base));
+      }
+      std::printf("%-8s %-10.0e %-16.1f %-12.1f %-12lld\n", c.method, eb,
+                  extra.mean(), ratio.mean(),
+                  static_cast<long long>(n_base));
+    }
+  }
+
+  std::printf(
+      "\nExpected: Jacobi tolerates every bound (stationary contraction, "
+      "Theorem 2); GMRES recovers with ~no delay; CG pays 10-25%% at "
+      "loose bounds; compression ratio falls as eb tightens.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Ablation: fault-tolerance overhead versus checkpoint interval around the
+/// Young optimum (Eq. 1) — validates the paper's use of Young-optimal
+/// intervals for each scheme (§5.4: 16 / 12 / 7 minutes).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "sim/perf_model.hpp"
+
+int main() {
+  using namespace lck;
+  bench::banner("Ablation — FT overhead vs checkpoint interval (Young sweep)",
+                "validates Eq. 1 for Tao et al., HPDC'18 §5.4");
+
+  constexpr int kProcs = 2048;
+  constexpr double kMtti = 3600.0;
+  // Jacobi isolates the interval trade-off cleanly: no Krylov-restart
+  // penalty, so overhead is purely checkpoint cost vs rollback cost.
+  const PaperMethod pm = paper_jacobi();
+
+  const LocalProblem p = make_local_problem("jacobi", 14, pm.rtol, 200000, false);
+  auto baseline = p.make_solver();
+  baseline->solve();
+  const double t_it =
+      pm.baseline_seconds / static_cast<double>(baseline->iteration());
+
+  const double ratio = bench::cluster_ratios(pm, 14).lossy;
+  const auto times = bench::scheme_times(pm, kProcs, CkptScheme::kLossy, ratio);
+  const double young = young_interval_seconds(times.ckpt_seconds, kMtti);
+  std::printf("Jacobi lossy: Tckp = %.1f s, Young-optimal interval = %.0f s\n\n",
+              times.ckpt_seconds, young);
+
+  std::printf("%-12s %-14s %-14s %-9s\n", "interval/Y*", "interval(s)",
+              "overhead(%)", "ckpts");
+  for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    RunningStats overhead, ckpts;
+    // Common random numbers: the same failure sequences are replayed for
+    // every interval setting, isolating the interval effect.
+    for (int t = 0; t < 16; ++t) {
+      auto solver = p.make_solver();
+      ResilienceConfig cfg;
+      cfg.scheme = CkptScheme::kLossy;
+      cfg.mtti_seconds = kMtti;
+      cfg.seed = 400 + t;
+      cfg.iteration_seconds = t_it;
+      cfg.cluster = ClusterModel{}.with_ranks(kProcs);
+      cfg.ckpt_interval_seconds = mult * young;
+      cfg.dynamic_scale = table3_vector_bytes(kProcs) / p.vector_bytes();
+      cfg.static_bytes = static_state_bytes(table3_vector_bytes(kProcs));
+      ResilientRunner runner(*solver, cfg);
+      const auto res = runner.run();
+      overhead.add(100.0 * (res.virtual_seconds - pm.baseline_seconds) /
+                   pm.baseline_seconds);
+      ckpts.add(static_cast<double>(res.checkpoints));
+    }
+    std::printf("%-12.2f %-14.0f %-14.1f %-9.0f\n", mult, mult * young,
+                overhead.mean(), ckpts.mean());
+  }
+
+  std::printf(
+      "\nExpected: a shallow minimum near 1.0x the Young interval — too "
+      "frequent pays checkpoint cost, too rare pays rollback cost.\n");
+  return 0;
+}

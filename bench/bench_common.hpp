@@ -1,0 +1,226 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared helpers for the figure/table reproduction harnesses:
+///        aligned table printing and solver-trajectory compression-ratio
+///        measurement.
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "core/experiment.hpp"
+#include "core/resilient_runner.hpp"
+#include "sim/perf_model.hpp"
+#include "solvers/solver.hpp"
+
+namespace lck::bench {
+
+/// Print a banner naming the experiment being reproduced.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Mean compression ratio of a method's solution vector sampled at several
+/// points along its convergence trajectory (the paper's checkpoints cover
+/// the whole run, §5.3).
+inline double trajectory_ratio(const LocalProblem& problem,
+                               const Compressor& comp,
+                               const std::vector<double>& fractions) {
+  auto solver = problem.make_solver();
+  auto probe = problem.make_solver();
+  probe->solve();
+  const index_t total = probe->iteration();
+
+  double ratio_sum = 0.0;
+  std::size_t count = 0;
+  index_t done = 0;
+  for (const double f : fractions) {
+    const index_t target = static_cast<index_t>(f * static_cast<double>(total));
+    while (done < target && !solver->converged()) {
+      solver->step();
+      ++done;
+    }
+    ratio_sum += compression_ratio(comp, solver->solution());
+    ++count;
+  }
+  return count > 0 ? ratio_sum / static_cast<double>(count) : 1.0;
+}
+
+/// Theorem 3 fixes eb = O(||r||/||b||); the constant is free. The paper's
+/// cluster runs are insensitive to it (a 2x residual bump is ~0.03% of
+/// 5,875 iterations), but the laptop-scale trajectories here are ~100
+/// iterations, so a conservative θ keeps the relative jump equally
+/// negligible — same physics, adjusted granularity (see EXPERIMENTS.md).
+inline constexpr double kAdaptiveTheta = 0.25;
+
+/// Default sampling points along the trajectory.
+inline std::vector<double> default_fractions() { return {0.25, 0.5, 0.75, 0.95}; }
+
+/// Modeled per-checkpoint and per-recovery times for one method, scheme and
+/// rank count (drives Figs. 4–7 and the Young intervals of Figs. 8/10).
+struct SchemeTimes {
+  double ckpt_seconds = 0.0;
+  double recovery_seconds = 0.0;
+};
+
+/// `ratio` is the measured compression ratio of the scheme's compressor on
+/// this method's solution vector (1.0 for traditional).
+inline SchemeTimes scheme_times(const PaperMethod& m, int procs,
+                                CkptScheme scheme, double ratio) {
+  const ClusterModel cl = ClusterModel{}.with_ranks(procs);
+  const double vec = table3_vector_bytes(procs);
+  // Lossy checkpointing saves only x (restarted methods, §4.2); the
+  // traditional/lossless schemes save every dynamic vector (CG: x and p).
+  const double raw_dyn =
+      vec * (scheme == CkptScheme::kLossy ? 1.0 : m.trad_vectors);
+  const double stored = raw_dyn / ratio;
+
+  SchemeTimes t;
+  t.ckpt_seconds = cl.write_seconds(stored);
+  t.recovery_seconds = cl.read_seconds(stored + static_state_bytes(vec));
+  if (scheme == CkptScheme::kLossy) {
+    t.ckpt_seconds += cl.compress_seconds(raw_dyn);
+    t.recovery_seconds += cl.decompress_seconds(raw_dyn);
+  } else if (scheme == CkptScheme::kLossless) {
+    t.ckpt_seconds += cl.lossless_compress_seconds(raw_dyn);
+    t.recovery_seconds += cl.lossless_decompress_seconds(raw_dyn);
+  }
+  return t;
+}
+
+/// Measured trajectory compression ratios per scheme for one method's local
+/// stand-in problem (traditional ⇒ 1).
+inline double scheme_ratio(const LocalProblem& problem, CkptScheme scheme,
+                           ErrorBound eb = ErrorBound::pointwise_rel(1e-4)) {
+  if (scheme == CkptScheme::kTraditional) return 1.0;
+  const auto comp = scheme == CkptScheme::kLossless
+                        ? make_compressor("deflate")
+                        : make_compressor("sz", eb);
+  return trajectory_ratio(problem, *comp, default_fractions());
+}
+
+/// Synthesize one rank's slice of the cluster-scale iterate x(t).
+///
+/// The paper's per-rank checkpoint data is ~4.8M contiguous samples of the
+/// Eq. 15 solution field plus the iteration's error field. The base field
+/// is generated exactly (smooth_solution at the Table 3 resolution); the
+/// error field's *magnitude* is taken from a real local run at the same
+/// trajectory fraction, and its *structure* follows the method's known
+/// behaviour: stationary methods damp high frequencies first (smooth error
+/// ⇒ highly compressible, the paper's gzip 6.4x on Jacobi), while Krylov
+/// iterates carry broadband error (⇒ gzip ~1.1x on GMRES/CG, Table 3).
+inline Vector cluster_rank_slice(const std::string& method, int procs,
+                                 double rel_error, std::size_t length,
+                                 std::uint64_t seed) {
+  const double n_global = static_cast<double>(table3_grid_n(procs));
+  const double total = n_global * n_global * n_global;
+  const double two_pi = 6.283185307179586476925286766559;
+  Rng rng(seed);
+  const bool smooth_error = method == "jacobi" || method == "gauss-seidel" ||
+                            method == "sor" || method == "ssor";
+  // A handful of error modes for stationary methods (wavelengths spanning
+  // the slice), sampled once.
+  struct Mode {
+    double freq, phase, amp;
+  };
+  std::vector<Mode> modes;
+  for (int k = 0; k < 5; ++k)
+    modes.push_back({(1.0 + 7.0 * rng.uniform()) * two_pi /
+                         static_cast<double>(length),
+                     two_pi * rng.uniform(), 1.0 / (k + 1.0)});
+
+  Vector slice(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double base =
+        std::sin(two_pi * static_cast<double>(i) / total) + 1.5;
+    double err;
+    if (smooth_error) {
+      err = 0.0;
+      for (const auto& m : modes)
+        err += m.amp * std::sin(m.freq * static_cast<double>(i) + m.phase);
+      err *= rel_error / 2.0;
+    } else {
+      err = rel_error * (2.0 * rng.uniform() - 1.0);
+    }
+    slice[i] = base * (1.0 + err);
+  }
+  return slice;
+}
+
+/// Cluster-scale compression ratios for a method: lossless (deflate) and
+/// lossy (SZ at the method's error bound; Theorem-3 adaptive for GMRES),
+/// averaged over trajectory fractions. Error magnitudes are measured on
+/// the real local solver.
+struct MethodRatios {
+  double lossless = 1.0;
+  double lossy = 1.0;
+};
+
+inline MethodRatios cluster_ratios(const PaperMethod& pm, index_t grid,
+                                   int procs = 2048,
+                                   std::size_t slice_len = 1u << 19) {
+  const LocalProblem p =
+      make_local_problem(pm.method, grid, pm.rtol, 200000,
+                         /*precondition=*/pm.method == "gmres");
+  // Local truth for error measurement.
+  const Vector x_true = smooth_solution(p.a.rows());
+  const double x_norm = norm_inf(x_true);
+
+  auto probe = p.make_solver();
+  probe->solve();
+  const index_t total = probe->iteration();
+
+  auto solver = p.make_solver();
+  index_t done = 0;
+  const auto lossless_comp = make_compressor("deflate");
+
+  MethodRatios sums{0.0, 0.0};
+  const std::vector<double> fractions{0.5, 0.95};
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    const index_t target =
+        static_cast<index_t>(fractions[f] * static_cast<double>(total));
+    while (done < target && !solver->converged()) {
+      solver->step();
+      ++done;
+    }
+    const double rel_error =
+        max_abs_diff(solver->solution(), x_true) / x_norm;
+    const double eb_value =
+        pm.adaptive_eb
+            ? theorem3_gmres_error_bound(solver->residual_norm(),
+                                         solver->rhs_norm(), kAdaptiveTheta)
+            : pm.eb_value;
+    const auto lossy_comp =
+        make_compressor("sz", ErrorBound::pointwise_rel(eb_value));
+
+    const Vector slice =
+        cluster_rank_slice(pm.method, procs, rel_error, slice_len, 17 + f);
+    sums.lossless += compression_ratio(*lossless_comp, slice);
+    sums.lossy += compression_ratio(*lossy_comp, slice);
+  }
+  const double inv = 1.0 / static_cast<double>(fractions.size());
+  return {sums.lossless * inv, sums.lossy * inv};
+}
+
+inline const char* scheme_label(CkptScheme s) {
+  switch (s) {
+    case CkptScheme::kTraditional: return "Traditional";
+    case CkptScheme::kLossless: return "Lossless";
+    case CkptScheme::kLossy: return "Lossy";
+  }
+  return "?";
+}
+
+inline constexpr std::array<CkptScheme, 3> kAllSchemes{
+    CkptScheme::kTraditional, CkptScheme::kLossless, CkptScheme::kLossy};
+
+inline constexpr std::array<int, 8> kTable3Procs{256,  512,  768,  1024,
+                                                 1280, 1536, 1792, 2048};
+
+}  // namespace lck::bench

@@ -1,0 +1,59 @@
+/// Figure 2: average extra iterations of the CG method per lossy recovery,
+/// as a function of the pointwise-relative error bound (1e-3 … 1e-6).
+///
+/// Protocol (paper §4.4.3): run CG; at a randomly selected iteration,
+/// compress + decompress the approximate solution with SZ, restart CG from
+/// the perturbed vector, and count the extra iterations to convergence
+/// relative to the failure-free run. Paper: 10–25% across bounds.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "compress/sz/sz_like.hpp"
+
+int main() {
+  using namespace lck;
+  bench::banner("Fig. 2 — CG extra iterations per lossy recovery vs eb",
+                "Tao et al., HPDC'18, Figure 2");
+
+  // Unpreconditioned CG gives a convergence trajectory long enough to
+  // resolve a 10–25% delay (see EXPERIMENTS.md).
+  const LocalProblem p = make_local_problem("cg", 20, 1e-7, 200000,
+                                            /*precondition=*/false);
+  auto baseline = p.make_solver();
+  baseline->solve();
+  const index_t n_base = baseline->iteration();
+  std::printf("Baseline failure-free CG: %lld iterations (grid 20^3)\n\n",
+              static_cast<long long>(n_base));
+
+  std::printf("%-14s %-18s %-14s\n", "rel. eb", "extra iters (mean)",
+              "extra (%)");
+  Rng rng(2018);
+  const int trials = 20;
+  for (const double eb : {1e-3, 1e-4, 1e-5, 1e-6}) {
+    SzLikeCompressor sz(ErrorBound::pointwise_rel(eb));
+    RunningStats extra;
+    for (int t = 0; t < trials; ++t) {
+      auto solver = p.make_solver();
+      // Random failure point inside (20%, 80%) of the trajectory.
+      const index_t fail_at = static_cast<index_t>(
+          (0.2 + 0.6 * rng.uniform()) * static_cast<double>(n_base));
+      for (index_t i = 0; i < fail_at && !solver->converged(); ++i)
+        solver->step();
+      const auto stream = sz.compress(solver->solution());
+      Vector recovered(solver->solution().size());
+      sz.decompress(stream, recovered);
+      solver->restart(recovered);
+      solver->solve();
+      extra.add(static_cast<double>(solver->iteration() - n_base));
+    }
+    std::printf("%-14.0e %-18.1f %-14.1f\n", eb, extra.mean(),
+                100.0 * extra.mean() / static_cast<double>(n_base));
+  }
+  std::printf(
+      "\nPaper: 10–25%% average extra iterations per lossy recovery across "
+      "these bounds;\nlooser bounds cost more extra iterations.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+/// Figure 5: average time of one checkpoint and one recovery for GMRES(30)
+/// under traditional / lossless / lossy checkpointing, 256…2048 processes.
+
+#include "fig_ckpt_time.hpp"
+
+int main() {
+  return lck::bench::run_ckpt_time_figure(
+      "gmres", 16, "5",
+      "Paper shape: lossless barely beats traditional on Krylov iterate "
+      "data (ratio ~1.2), while lossy cuts the 120 s checkpoint to ~25 s "
+      "at 2,048 ranks — the paper's Theorem 1 worked example.");
+}

@@ -1,0 +1,90 @@
+/// Figure 8: number of convergence iterations with lossy checkpointing
+/// versus the failure-free baseline, for Jacobi, GMRES and CG at
+/// 256…2048 processes.
+///
+/// The solver mathematics run for real; the virtual clock is calibrated so
+/// each local run spans the paper's wall-clock budget (per-iteration cost =
+/// paper baseline seconds / local iterations), making the expected number
+/// of injected failures per run match the paper's MTTI = 1 h setting.
+/// Expected shape: Jacobi +0 iterations, GMRES ±0 (sometimes slightly
+/// fewer — Theorem 3), CG ≈ +25%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "sim/perf_model.hpp"
+
+int main() {
+  using namespace lck;
+  bench::banner("Fig. 8 — convergence iterations: lossy vs failure-free",
+                "Tao et al., HPDC'18, Figure 8");
+
+  // local_rtol: Jacobi/CG use the paper's tolerances; GMRES runs deeper
+  // (1e-10) so its ~150-iteration local trajectory spans several GMRES(30)
+  // cycles, keeping the restart granularity proportionally as small as in
+  // the paper's 5,875-iteration runs (see EXPERIMENTS.md).
+  struct MethodSetup {
+    PaperMethod pm;
+    index_t grid;
+    bool precondition;
+    double local_rtol;
+  };
+  const MethodSetup methods[] = {{paper_jacobi(), 14, false, 1e-4},
+                                 {paper_gmres(), 20, false, 1e-10},
+                                 {paper_cg(), 18, false, 1e-7}};
+
+  std::printf("%-8s %-8s %-14s %-14s %-10s %-9s\n", "method", "procs",
+              "failure-free", "lossy (mean)", "delta(%)", "failures");
+
+  for (const auto& s : methods) {
+    const LocalProblem p = make_local_problem(s.pm.method, s.grid, s.local_rtol,
+                                              200000, s.precondition);
+    auto baseline = p.make_solver();
+    baseline->solve();
+    const index_t n_base = baseline->iteration();
+    const double t_it_virtual =
+        s.pm.baseline_seconds / static_cast<double>(n_base);
+    const double r_lossy = bench::cluster_ratios(s.pm, s.grid).lossy;
+
+    for (const int procs : {256, 512, 1024, 2048}) {
+      const auto times =
+          bench::scheme_times(s.pm, procs, CkptScheme::kLossy, r_lossy);
+      RunningStats iters, fails;
+      const int trials = 5;
+      for (int t = 0; t < trials; ++t) {
+        auto solver = p.make_solver();
+        ResilienceConfig cfg;
+        cfg.scheme = CkptScheme::kLossy;
+        cfg.lossy_eb = ErrorBound::pointwise_rel(s.pm.eb_value);
+        cfg.adaptive_error_bound = s.pm.adaptive_eb;
+        cfg.adaptive_theta = bench::kAdaptiveTheta;
+        cfg.mtti_seconds = 3600.0;
+        cfg.seed = 1000 + static_cast<std::uint64_t>(procs) * 10 + t;
+        cfg.iteration_seconds = t_it_virtual;
+        cfg.cluster = ClusterModel{}.with_ranks(procs);
+        cfg.ckpt_interval_seconds =
+            young_interval_seconds(times.ckpt_seconds, cfg.mtti_seconds);
+        cfg.dynamic_scale =
+            table3_vector_bytes(procs) / p.vector_bytes();
+        cfg.static_bytes = static_state_bytes(table3_vector_bytes(procs));
+        ResilientRunner runner(*solver, cfg);
+        const auto res = runner.run();
+        iters.add(static_cast<double>(res.convergence_iteration));
+        fails.add(static_cast<double>(res.failures));
+      }
+      std::printf("%-8s %-8d %-14lld %-14.0f %-10.1f %-9.1f\n",
+                  s.pm.method.c_str(), procs, static_cast<long long>(n_base),
+                  iters.mean(),
+                  100.0 * (iters.mean() - static_cast<double>(n_base)) /
+                      static_cast<double>(n_base),
+                  fails.mean());
+    }
+  }
+
+  std::printf(
+      "\nPaper shape: Jacobi shows no delay (N' bound ~6 of ~3941); GMRES "
+      "with the Theorem-3 adaptive bound matches or slightly beats the "
+      "failure-free count; CG is delayed ~24.8%% on average.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// Figure 9: typical residual traces of the Jacobi method — failure-free
+/// versus lossy checkpointing with one and with two failures/restarts.
+///
+/// The paper's takeaway: after each lossy recovery the Jacobi residual
+/// rejoins the failure-free trajectory immediately (no extra iterations),
+/// the visible bump at the restart point decaying within a handful of
+/// sweeps (Theorem 2 with eb = 1e-4).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "compress/sz/sz_like.hpp"
+
+namespace {
+
+/// Run Jacobi, injecting lossy compress-restart events at the given
+/// iteration numbers; returns the residual history.
+std::vector<double> run_with_restarts(const lck::LocalProblem& p,
+                                      const std::vector<lck::index_t>& events,
+                                      double eb) {
+  using namespace lck;
+  auto solver = p.make_solver();
+  SzLikeCompressor sz(ErrorBound::pointwise_rel(eb));
+  std::size_t next_event = 0;
+  while (!solver->converged()) {
+    if (next_event < events.size() &&
+        solver->iteration() == events[next_event]) {
+      const auto stream = sz.compress(solver->solution());
+      Vector recovered(solver->solution().size());
+      sz.decompress(stream, recovered);
+      solver->restart(recovered);
+      ++next_event;
+    }
+    solver->step();
+  }
+  return solver->residual_history();
+}
+
+}  // namespace
+
+int main() {
+  using namespace lck;
+  bench::banner("Fig. 9 — Jacobi residual traces with lossy restarts",
+                "Tao et al., HPDC'18, Figure 9");
+
+  const PaperMethod pm = paper_jacobi();
+  const LocalProblem p =
+      make_local_problem("jacobi", 14, pm.rtol, 200000, false);
+
+  const auto clean = run_with_restarts(p, {}, pm.eb_value);
+  const index_t n = static_cast<index_t>(clean.size());
+  const auto one_failure =
+      run_with_restarts(p, {n / 2}, pm.eb_value);
+  const auto two_failures =
+      run_with_restarts(p, {n / 3, 2 * n / 3}, pm.eb_value);
+
+  std::printf("Restart events: 1-failure at iter %lld; 2-failure at %lld "
+              "and %lld\n\n",
+              static_cast<long long>(n / 2), static_cast<long long>(n / 3),
+              static_cast<long long>(2 * n / 3));
+  std::printf("%-10s %-16s %-16s %-16s\n", "iteration", "failure-free",
+              "lossy-1-failure", "lossy-2-failures");
+  const index_t max_len = static_cast<index_t>(
+      std::max({clean.size(), one_failure.size(), two_failures.size()}));
+  const index_t stride = std::max<index_t>(1, max_len / 25);
+  for (index_t i = 0; i < max_len; i += stride) {
+    const auto cell = [&](const std::vector<double>& h) {
+      return i < static_cast<index_t>(h.size()) ? h[i] : -1.0;
+    };
+    std::printf("%-10lld %-16.6e %-16.6e %-16.6e\n",
+                static_cast<long long>(i), cell(clean), cell(one_failure),
+                cell(two_failures));
+  }
+
+  std::printf("\nTotal iterations: failure-free %zu, 1 failure %zu, "
+              "2 failures %zu\n",
+              clean.size(), one_failure.size(), two_failures.size());
+  std::printf(
+      "Paper shape: all three traces converge to the same residual with "
+      "essentially identical iteration counts (0 extra iterations for "
+      "Jacobi at eb = 1e-4).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+/// Figure 10: experimental versus expected fault-tolerance overhead of
+/// fault-tolerant Jacobi, GMRES and CG with traditional / lossless / lossy
+/// checkpointing at 2,048 processes, MTTI = 1 hour, Young-optimal
+/// checkpoint intervals — the paper's headline experiment.
+///
+/// Headline numbers to reproduce in shape: lossy cuts FT overhead by
+/// 59/70/23% vs traditional and 24/58/20% vs lossless for
+/// Jacobi/GMRES/CG respectively.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "sim/perf_model.hpp"
+
+int main() {
+  using namespace lck;
+  bench::banner("Fig. 10 — experimental vs expected FT overhead @2048 procs",
+                "Tao et al., HPDC'18, Figure 10");
+
+  constexpr int kProcs = 2048;
+  constexpr double kMtti = 3600.0;
+  constexpr int kTrials = 20;
+
+  // local_rtol: Jacobi/CG use the paper's tolerances; GMRES runs deeper
+  // (1e-10) so its ~150-iteration local trajectory spans several GMRES(30)
+  // cycles, keeping the restart granularity proportionally as small as in
+  // the paper's 5,875-iteration runs (see EXPERIMENTS.md).
+  struct MethodSetup {
+    PaperMethod pm;
+    index_t grid;
+    bool precondition;
+    double local_rtol;
+  };
+  const MethodSetup methods[] = {{paper_jacobi(), 14, false, 1e-4},
+                                 {paper_gmres(), 20, false, 1e-10},
+                                 {paper_cg(), 20, false, 1e-8}};
+
+  std::printf("%-8s %-13s %-11s %-13s %-13s %-10s %-9s\n", "method", "scheme",
+              "Tckp(s)", "interval(s)", "exp ovh(%)", "meas(%)", "fails");
+
+  double measured[3][3];  // [method][scheme]
+  for (int m = 0; m < 3; ++m) {
+    const auto& s = methods[m];
+    const LocalProblem p = make_local_problem(s.pm.method, s.grid, s.local_rtol,
+                                              200000, s.precondition);
+    auto baseline = p.make_solver();
+    baseline->solve();
+    const index_t n_base = baseline->iteration();
+    const double t_it = s.pm.baseline_seconds / static_cast<double>(n_base);
+    const double baseline_virtual = s.pm.baseline_seconds;
+
+    const auto cluster_r = bench::cluster_ratios(s.pm, s.grid);
+    for (int sc = 0; sc < 3; ++sc) {
+      const CkptScheme scheme = bench::kAllSchemes[sc];
+      const double ratio = scheme == CkptScheme::kTraditional ? 1.0
+                           : scheme == CkptScheme::kLossless
+                               ? cluster_r.lossless
+                               : cluster_r.lossy;
+      const auto times = bench::scheme_times(s.pm, kProcs, scheme, ratio);
+      const double interval =
+          young_interval_seconds(times.ckpt_seconds, kMtti);
+
+      RunningStats overhead, fails;
+      for (int t = 0; t < kTrials; ++t) {
+        auto solver = p.make_solver();
+        ResilienceConfig cfg;
+        cfg.scheme = scheme;
+        cfg.lossy_eb = ErrorBound::pointwise_rel(s.pm.eb_value);
+        cfg.adaptive_error_bound =
+            scheme == CkptScheme::kLossy && s.pm.adaptive_eb;
+        cfg.adaptive_theta = bench::kAdaptiveTheta;
+        cfg.mtti_seconds = kMtti;
+        cfg.seed = 9000 + static_cast<std::uint64_t>(m) * 100 + sc * 10 + t;
+        cfg.iteration_seconds = t_it;
+        cfg.cluster = ClusterModel{}.with_ranks(kProcs);
+        cfg.ckpt_interval_seconds = interval;
+        cfg.dynamic_scale = table3_vector_bytes(kProcs) / p.vector_bytes();
+        cfg.static_bytes = static_state_bytes(table3_vector_bytes(kProcs));
+        ResilientRunner runner(*solver, cfg);
+        const auto res = runner.run();
+        overhead.add(100.0 * (res.virtual_seconds - baseline_virtual) /
+                     baseline_virtual);
+        fails.add(static_cast<double>(res.failures));
+      }
+      measured[m][sc] = overhead.mean();
+
+      const double lambda = 1.0 / kMtti;
+      // The paper's N' values are counted in its own iteration units
+      // (e.g. CG: 594 of 2,376); rescale to this run's granularity so
+      // lambda*N'*Tit keeps the paper's meaning.
+      const double n_prime_local = s.pm.expected_nprime /
+                                   s.pm.baseline_iterations *
+                                   static_cast<double>(n_base);
+      const double expected =
+          scheme == CkptScheme::kLossy
+              ? 100.0 * expected_overhead_ratio_lossy(
+                            times.ckpt_seconds, lambda, n_prime_local, t_it)
+              : 100.0 * expected_overhead_ratio(times.ckpt_seconds, lambda);
+
+      std::printf("%-8s %-13s %-11.1f %-13.0f %-13.1f %-10.1f %-9.1f\n",
+                  s.pm.method.c_str(), bench::scheme_label(scheme),
+                  times.ckpt_seconds, interval, expected, overhead.mean(),
+                  fails.mean());
+    }
+  }
+
+  std::printf("\nReductions of FT overhead by lossy checkpointing:\n");
+  std::printf("%-8s %-24s %-24s\n", "method", "vs traditional",
+              "vs lossless");
+  const char* names[] = {"jacobi", "gmres", "cg"};
+  for (int m = 0; m < 3; ++m) {
+    const double vs_trad =
+        100.0 * (measured[m][0] - measured[m][2]) / measured[m][0];
+    const double vs_lless =
+        100.0 * (measured[m][1] - measured[m][2]) / measured[m][1];
+    std::printf("%-8s %-24.0f %-24.0f\n", names[m], vs_trad, vs_lless);
+  }
+  std::printf(
+      "\nPaper: reductions of 59/70/23%% vs traditional and 24/58/20%% vs "
+      "lossless (Jacobi/GMRES/CG); lossy wins for every method.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+/// Shared implementation for Figures 4, 5 and 6: mean time of one
+/// checkpoint and one recovery versus process count for the three schemes.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace lck::bench {
+
+/// `grid` sizes the local stand-in problem used to measure compression
+/// ratios; `figure` and `paper_note` label the output.
+inline int run_ckpt_time_figure(const std::string& method, index_t grid,
+                                const std::string& figure,
+                                const std::string& paper_note) {
+  const PaperMethod pm = paper_method(method);
+  banner("Fig. " + figure + " — " + method +
+             ": time of one checkpoint / recovery vs processes",
+         "Tao et al., HPDC'18, Figure " + figure);
+
+  const MethodRatios ratios = cluster_ratios(pm, grid);
+  const double r_lossless = ratios.lossless;
+  const double r_lossy = ratios.lossy;
+  std::printf("Measured rank-slice ratios: lossless %.2fx, lossy %.1fx\n\n",
+              r_lossless, r_lossy);
+
+  std::printf("(a) Checkpoint time (s)\n");
+  std::printf("%-8s %-12s %-12s %-12s\n", "procs", "Traditional", "Lossless",
+              "Lossy");
+  for (const int procs : kTable3Procs) {
+    const auto trad = scheme_times(pm, procs, CkptScheme::kTraditional, 1.0);
+    const auto lless = scheme_times(pm, procs, CkptScheme::kLossless, r_lossless);
+    const auto lossy = scheme_times(pm, procs, CkptScheme::kLossy, r_lossy);
+    std::printf("%-8d %-12.1f %-12.1f %-12.1f\n", procs, trad.ckpt_seconds,
+                lless.ckpt_seconds, lossy.ckpt_seconds);
+  }
+
+  std::printf("\n(b) Recovery time (s)\n");
+  std::printf("%-8s %-12s %-12s %-12s\n", "procs", "Traditional", "Lossless",
+              "Lossy");
+  for (const int procs : kTable3Procs) {
+    const auto trad = scheme_times(pm, procs, CkptScheme::kTraditional, 1.0);
+    const auto lless = scheme_times(pm, procs, CkptScheme::kLossless, r_lossless);
+    const auto lossy = scheme_times(pm, procs, CkptScheme::kLossy, r_lossy);
+    std::printf("%-8d %-12.1f %-12.1f %-12.1f\n", procs, trad.recovery_seconds,
+                lless.recovery_seconds, lossy.recovery_seconds);
+  }
+
+  std::printf("\n%s\n", paper_note.c_str());
+  return 0;
+}
+
+}  // namespace lck::bench

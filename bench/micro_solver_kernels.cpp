@@ -1,0 +1,65 @@
+/// google-benchmark microbenchmarks for the solver substrate: SpMV,
+/// preconditioner application, and single iterations of each method.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "solvers/factory.hpp"
+#include "sparse/gen/poisson3d.hpp"
+
+namespace {
+
+void bm_spmv(benchmark::State& state) {
+  const lck::index_t n = state.range(0);
+  const auto a = lck::poisson3d_spd(n);
+  lck::Vector x(a.rows(), 1.0), y(a.rows());
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          a.nnz());
+}
+
+void bm_preconditioner(benchmark::State& state, const char* name) {
+  const auto a = lck::poisson3d_spd(24);
+  const auto m = lck::make_preconditioner(name, a, 8);
+  lck::Vector r(a.rows(), 1.0), z(a.rows());
+  for (auto _ : state) {
+    m->apply(r, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          a.rows());
+}
+
+void bm_solver_step(benchmark::State& state, const char* method) {
+  const lck::LocalProblem p = lck::make_local_problem(method, 20, 1e-14,
+                                                      1 << 30, false);
+  auto solver = p.make_solver();
+  for (auto _ : state) {
+    auto st = solver->step();
+    benchmark::DoNotOptimize(st);
+    if (solver->converged()) {
+      state.PauseTiming();
+      solver->restart(lck::Vector(p.a.rows(), 0.0));
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          p.a.nnz());
+}
+
+}  // namespace
+
+BENCHMARK(bm_spmv)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK_CAPTURE(bm_preconditioner, jacobi, "jacobi");
+BENCHMARK_CAPTURE(bm_preconditioner, bjacobi, "bjacobi");
+BENCHMARK_CAPTURE(bm_preconditioner, ilu0, "ilu0");
+BENCHMARK_CAPTURE(bm_preconditioner, ic0, "ic0");
+BENCHMARK_CAPTURE(bm_solver_step, jacobi, "jacobi");
+BENCHMARK_CAPTURE(bm_solver_step, cg, "cg");
+BENCHMARK_CAPTURE(bm_solver_step, gmres, "gmres");
+BENCHMARK_CAPTURE(bm_solver_step, bicgstab, "bicgstab");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/// Domain scenario 1 — the paper's headline use case: run an iterative
+/// solver to convergence on a failure-prone (virtual) cluster and compare
+/// the three checkpointing schemes end to end.
+///
+///   build/examples/resilient_solve [method]    (jacobi | cg | gmres | bicgstab)
+///
+/// Prints, per scheme: total virtual wall-clock, failures survived,
+/// checkpoints taken, mean checkpoint size/time, and the fault-tolerance
+/// overhead relative to the failure-free baseline.
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/resilient_runner.hpp"
+#include "sim/perf_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lck;
+  const std::string method = argc > 1 ? argv[1] : "cg";
+
+  const bool stationary = method == "jacobi";
+  const LocalProblem p = make_local_problem(method, stationary ? 14 : 20,
+                                            stationary ? 1e-4 : 1e-8, 200000,
+                                            /*precondition=*/false);
+  auto baseline = p.make_solver();
+  baseline->solve();
+  const double n_base = static_cast<double>(baseline->iteration());
+  // Map the local run onto a 2,048-rank hour-scale execution.
+  const double t_it = 3600.0 / n_base;
+  const double baseline_seconds = 3600.0;
+  std::printf("%s on %lld unknowns: failure-free N = %.0f iterations\n",
+              method.c_str(), static_cast<long long>(p.a.rows()), n_base);
+  std::printf("Virtual setting: 2,048 ranks, MTTI = 1 h, baseline %.0f s\n\n",
+              baseline_seconds);
+
+  std::printf("%-13s %-10s %-7s %-7s %-11s %-11s %-11s\n", "scheme",
+              "total(s)", "fails", "ckpts", "ckpt MB", "ckpt s", "overhead");
+  for (const CkptScheme scheme :
+       {CkptScheme::kTraditional, CkptScheme::kLossless, CkptScheme::kLossy}) {
+    auto solver = p.make_solver();
+    ResilienceConfig cfg;
+    cfg.scheme = scheme;
+    cfg.adaptive_error_bound = method == "gmres";
+    cfg.adaptive_theta = 0.25;
+    cfg.mtti_seconds = 3600.0;
+    cfg.seed = 2024;
+    cfg.iteration_seconds = t_it;
+    cfg.cluster = ClusterModel{};  // 2,048 ranks
+    cfg.dynamic_scale = 78.8e9 / p.vector_bytes();
+    cfg.static_bytes = 0.25 * 78.8e9;
+    // First guess for the Young interval from an uncompressed write; the
+    // runner reports the real checkpoint cost for refinement.
+    cfg.ckpt_interval_seconds =
+        young_interval_seconds(cfg.cluster.write_seconds(78.8e9), 3600.0);
+
+    ResilientRunner runner(*solver, cfg);
+    const auto res = runner.run();
+    std::printf("%-13s %-10.0f %-7d %-7d %-11.1f %-11.1f %9.1f%%\n",
+                to_string(scheme), res.virtual_seconds, res.failures,
+                res.checkpoints, res.mean_ckpt_stored_bytes / 1e6 / 2048.0,
+                res.mean_ckpt_seconds,
+                100.0 * (res.virtual_seconds - baseline_seconds) /
+                    baseline_seconds);
+  }
+  std::printf(
+      "\nLossy checkpointing trades a bounded perturbation of x (SZ, "
+      "eb = 1e-4) for dramatically cheaper checkpoints (paper Theorem 1).\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "ckpt/checkpoint_manager.hpp"
+
+#include "common/byte_buffer.hpp"
+#include "common/crc32.hpp"
+#include "common/timer.hpp"
+
+namespace lck {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54504b43u;  // "CKPT"
+constexpr std::uint16_t kVersion = 1;
+
+enum class VarKind : std::uint8_t { kVector = 0, kBlob = 1 };
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::unique_ptr<CheckpointStore> store,
+                                     const Compressor* default_compressor)
+    : store_(std::move(store)), default_compressor_(default_compressor) {
+  require(store_ != nullptr, "checkpoint manager: null store");
+  if (default_compressor_ == nullptr) default_compressor_ = &none_;
+  next_version_ = store_->latest_version() + 1;
+}
+
+void CheckpointManager::protect(int id, std::string name, Vector* data,
+                                const Compressor* compressor) {
+  require(data != nullptr, "protect: null variable");
+  require(!entries_.contains(id), "protect: id already registered");
+  entries_[id] = Entry{std::move(name), data, nullptr, compressor};
+}
+
+void CheckpointManager::protect_blob(int id, std::string name,
+                                     std::vector<byte_t>* data) {
+  require(data != nullptr, "protect_blob: null variable");
+  require(!entries_.contains(id), "protect_blob: id already registered");
+  entries_[id] = Entry{std::move(name), nullptr, data, nullptr};
+}
+
+void CheckpointManager::unprotect(int id) { entries_.erase(id); }
+
+CheckpointRecord CheckpointManager::checkpoint() {
+  require(!entries_.empty(), "checkpoint: nothing protected");
+  CheckpointRecord rec;
+  rec.version = next_version_;
+
+  ByteWriter out;
+  out.put(kMagic);
+  out.put(kVersion);
+  out.put(static_cast<std::uint32_t>(entries_.size()));
+
+  WallTimer timer;
+  for (const auto& [id, e] : entries_) {
+    out.put(static_cast<std::int32_t>(id));
+    out.put_string(e.name);
+    if (e.vec != nullptr) {
+      out.put(static_cast<std::uint8_t>(VarKind::kVector));
+      const Compressor* comp = compressor_for(e);
+      out.put_string(comp->name());
+      out.put(static_cast<std::uint64_t>(e.vec->size()));
+      const auto payload = comp->compress(*e.vec);
+      rec.raw_bytes += e.vec->size() * sizeof(double);
+      rec.per_var_bytes[e.name] = payload.size();
+      out.put(static_cast<std::uint64_t>(payload.size()));
+      out.put(crc32(payload));
+      out.put_bytes(payload);
+    } else {
+      out.put(static_cast<std::uint8_t>(VarKind::kBlob));
+      out.put_string("none");
+      out.put(static_cast<std::uint64_t>(e.blob->size()));
+      rec.raw_bytes += e.blob->size();
+      rec.per_var_bytes[e.name] = e.blob->size();
+      out.put(static_cast<std::uint64_t>(e.blob->size()));
+      out.put(crc32(*e.blob));
+      out.put_bytes(*e.blob);
+    }
+  }
+  rec.compress_seconds = timer.seconds();
+
+  rec.stored_bytes = out.size();
+  store_->write(rec.version, out.view());
+  for (int v = rec.version - retention_; v >= 0 && store_->exists(v); --v)
+    store_->remove(v);
+  ++next_version_;
+  return rec;
+}
+
+CheckpointRecord CheckpointManager::recover() {
+  const int version = store_->latest_version();
+  if (version < 0) throw corrupt_stream_error("recover: no checkpoint exists");
+  const auto data = store_->read(version);
+
+  CheckpointRecord rec;
+  rec.version = version;
+  rec.stored_bytes = data.size();
+
+  ByteReader in(data);
+  if (in.get<std::uint32_t>() != kMagic)
+    throw corrupt_stream_error("recover: bad checkpoint magic");
+  if (in.get<std::uint16_t>() != kVersion)
+    throw corrupt_stream_error("recover: unsupported format version");
+  const auto count = in.get<std::uint32_t>();
+
+  WallTimer timer;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto id = in.get<std::int32_t>();
+    const std::string name = in.get_string();
+    const auto kind = static_cast<VarKind>(in.get<std::uint8_t>());
+    const std::string comp_name = in.get_string();
+    const auto elem_count = in.get<std::uint64_t>();
+    const auto payload_size = in.get<std::uint64_t>();
+    const auto stored_crc = in.get<std::uint32_t>();
+    const auto payload = in.get_bytes(payload_size);
+    if (crc32(payload) != stored_crc)
+      throw corrupt_stream_error("recover: CRC mismatch for variable " + name);
+
+    const auto it = entries_.find(id);
+    if (it == entries_.end())
+      throw corrupt_stream_error("recover: unregistered variable id " +
+                                 std::to_string(id));
+    Entry& e = it->second;
+    if (kind == VarKind::kVector) {
+      require(e.vec != nullptr, "recover: kind mismatch (expected vector)");
+      const Compressor* comp = compressor_for(e);
+      if (comp->name() != comp_name)
+        throw corrupt_stream_error(
+            "recover: compressor mismatch for variable " + name + " (stored " +
+            comp_name + ", registered " + comp->name() + ")");
+      e.vec->resize(elem_count);
+      comp->decompress(payload, *e.vec);
+      rec.raw_bytes += elem_count * sizeof(double);
+    } else {
+      require(e.blob != nullptr, "recover: kind mismatch (expected blob)");
+      e.blob->assign(payload.begin(), payload.end());
+      rec.raw_bytes += payload.size();
+    }
+    rec.per_var_bytes[name] = payload_size;
+  }
+  rec.compress_seconds = timer.seconds();
+  recovery_pending_ = false;
+  return rec;
+}
+
+CheckpointRecord CheckpointManager::snapshot() {
+  if (recovery_pending_ && has_checkpoint()) return recover();
+  recovery_pending_ = false;
+  return checkpoint();
+}
+
+}  // namespace lck

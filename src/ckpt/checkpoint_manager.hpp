@@ -1,0 +1,107 @@
+#pragma once
+/// \file checkpoint_manager.hpp
+/// \brief FTI-like checkpoint/restart API (paper §4.2 workflow):
+///        Protect() registers variables, Checkpoint() saves them,
+///        Recover() restores them — with a pluggable compressor per
+///        variable and CRC-32 integrity on every payload.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ckpt/checkpoint_store.hpp"
+#include "compress/compressor.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace lck {
+
+/// Accounting for one checkpoint or recovery, consumed by the virtual-time
+/// PFS model (sizes) and by the real-time measurements (seconds).
+struct CheckpointRecord {
+  int version = -1;
+  std::size_t raw_bytes = 0;         ///< Sum of uncompressed payloads.
+  std::size_t stored_bytes = 0;      ///< Bytes actually written/read.
+  double compress_seconds = 0.0;     ///< Real local (de)compression time.
+  std::map<std::string, std::size_t> per_var_bytes;  ///< Stored size by name.
+};
+
+/// Checkpoint manager in the style of FTI: variables are registered once
+/// with Protect(), then Checkpoint()/Recover() move all of them at once.
+///
+/// Double-array variables go through the configured compressor (per-variable
+/// override possible: the lossy scheme compresses only the solution vector,
+/// while scalar/state blobs are stored verbatim).
+class CheckpointManager {
+ public:
+  /// `default_compressor` applies to every protected vector without an
+  /// override; not owned, may be mutated between checkpoints (adaptive
+  /// error bounds).
+  CheckpointManager(std::unique_ptr<CheckpointStore> store,
+                    const Compressor* default_compressor);
+
+  /// FTI Protect(): register a double-vector variable under a unique id.
+  /// Passing a per-variable compressor overrides the default.
+  void protect(int id, std::string name, Vector* data,
+               const Compressor* compressor = nullptr);
+
+  /// Register an opaque byte blob (solver scalar state, app metadata).
+  /// Blobs are stored verbatim (never lossy).
+  void protect_blob(int id, std::string name, std::vector<byte_t>* data);
+
+  /// Remove a registration.
+  void unprotect(int id);
+
+  /// Save all protected variables as a new checkpoint version.
+  CheckpointRecord checkpoint();
+
+  /// Restore all protected variables from the latest checkpoint.
+  /// Vectors are resized to the checkpointed length.
+  CheckpointRecord recover();
+
+  /// FTI Snapshot(): recover() if a restart is pending, else checkpoint().
+  CheckpointRecord snapshot();
+
+  /// Mark that the next snapshot() must recover (set after a failure).
+  void request_recovery() noexcept { recovery_pending_ = true; }
+
+  [[nodiscard]] bool has_checkpoint() const {
+    return store_->latest_version() >= 0;
+  }
+  [[nodiscard]] int latest_version() const { return store_->latest_version(); }
+
+  /// Discard a committed version (used when a failure interrupts the
+  /// checkpoint write itself, so the torn file must not be recovered from).
+  void discard_version(int version) { store_->remove(version); }
+
+  /// Keep at most `n` most recent versions (older ones deleted on write).
+  void set_retention(int n) {
+    require(n >= 1, "checkpoint manager: retention must be >= 1");
+    retention_ = n;
+  }
+
+  [[nodiscard]] const CheckpointStore& store() const { return *store_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Vector* vec = nullptr;               // exactly one of vec/blob is set
+    std::vector<byte_t>* blob = nullptr;
+    const Compressor* compressor = nullptr;  // null => manager default
+  };
+
+  [[nodiscard]] const Compressor* compressor_for(const Entry& e) const {
+    return e.compressor != nullptr ? e.compressor : default_compressor_;
+  }
+
+  std::unique_ptr<CheckpointStore> store_;
+  const Compressor* default_compressor_;
+  NoneCompressor none_;
+  std::map<int, Entry> entries_;
+  int next_version_ = 0;
+  int retention_ = 1;
+  bool recovery_pending_ = false;
+};
+
+}  // namespace lck

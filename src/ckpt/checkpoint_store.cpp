@@ -1,0 +1,97 @@
+#include "ckpt/checkpoint_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace lck {
+
+namespace fs = std::filesystem;
+
+// ----- MemoryStore ----------------------------------------------------------
+
+void MemoryStore::write(int version, std::span<const byte_t> data) {
+  blobs_[version].assign(data.begin(), data.end());
+}
+
+std::vector<byte_t> MemoryStore::read(int version) const {
+  const auto it = blobs_.find(version);
+  if (it == blobs_.end())
+    throw corrupt_stream_error("memory store: no checkpoint version " +
+                               std::to_string(version));
+  return it->second;
+}
+
+bool MemoryStore::exists(int version) const {
+  return blobs_.contains(version);
+}
+
+void MemoryStore::remove(int version) { blobs_.erase(version); }
+
+int MemoryStore::latest_version() const {
+  return blobs_.empty() ? -1 : blobs_.rbegin()->first;
+}
+
+// ----- DiskStore ------------------------------------------------------------
+
+DiskStore::DiskStore(std::string directory) : dir_(std::move(directory)) {
+  fs::create_directories(dir_);
+}
+
+std::string DiskStore::path_for(int version) const {
+  return dir_ + "/ckpt_" + std::to_string(version) + ".lck";
+}
+
+void DiskStore::write(int version, std::span<const byte_t> data) {
+  const std::string final_path = path_for(version);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!f) throw corrupt_stream_error("disk store: cannot open " + tmp_path);
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (!f) throw corrupt_stream_error("disk store: short write " + tmp_path);
+  }
+  fs::rename(tmp_path, final_path);  // atomic commit
+}
+
+std::vector<byte_t> DiskStore::read(int version) const {
+  std::ifstream f(path_for(version), std::ios::binary | std::ios::ate);
+  if (!f)
+    throw corrupt_stream_error("disk store: no checkpoint version " +
+                               std::to_string(version));
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<byte_t> data(size);
+  f.read(reinterpret_cast<char*>(data.data()),
+         static_cast<std::streamsize>(size));
+  if (!f) throw corrupt_stream_error("disk store: short read");
+  return data;
+}
+
+bool DiskStore::exists(int version) const {
+  return fs::exists(path_for(version));
+}
+
+void DiskStore::remove(int version) {
+  std::error_code ec;
+  fs::remove(path_for(version), ec);
+}
+
+int DiskStore::latest_version() const {
+  int latest = -1;
+  if (!fs::exists(dir_)) return latest;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("ckpt_") && name.ends_with(".lck")) {
+      const std::string digits = name.substr(5, name.size() - 9);
+      try {
+        latest = std::max(latest, std::stoi(digits));
+      } catch (...) {  // NOLINT: ignore unrelated files
+      }
+    }
+  }
+  return latest;
+}
+
+}  // namespace lck

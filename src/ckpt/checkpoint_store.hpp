@@ -1,0 +1,61 @@
+#pragma once
+/// \file checkpoint_store.hpp
+/// \brief Storage backends for checkpoint blobs: in-memory (fast experiment
+///        loops) and on-disk with atomic commit (real persistence).
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lck {
+
+/// Abstract keyed blob store. Keys are checkpoint versions; writes must be
+/// atomic (a reader never sees a torn blob).
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  virtual void write(int version, std::span<const byte_t> data) = 0;
+  [[nodiscard]] virtual std::vector<byte_t> read(int version) const = 0;
+  [[nodiscard]] virtual bool exists(int version) const = 0;
+  virtual void remove(int version) = 0;
+  /// Highest stored version, or -1 when empty.
+  [[nodiscard]] virtual int latest_version() const = 0;
+};
+
+/// RAM-backed store (default for the failure-injection experiments, where
+/// PFS I/O time is modeled by sim::PfsModel rather than performed).
+class MemoryStore final : public CheckpointStore {
+ public:
+  void write(int version, std::span<const byte_t> data) override;
+  [[nodiscard]] std::vector<byte_t> read(int version) const override;
+  [[nodiscard]] bool exists(int version) const override;
+  void remove(int version) override;
+  [[nodiscard]] int latest_version() const override;
+
+ private:
+  std::map<int, std::vector<byte_t>> blobs_;
+};
+
+/// Directory-backed store. Each version is `ckpt_<version>.lck`, written to
+/// a temporary file and committed with rename() (atomic on POSIX).
+class DiskStore final : public CheckpointStore {
+ public:
+  explicit DiskStore(std::string directory);
+
+  void write(int version, std::span<const byte_t> data) override;
+  [[nodiscard]] std::vector<byte_t> read(int version) const override;
+  [[nodiscard]] bool exists(int version) const override;
+  void remove(int version) override;
+  [[nodiscard]] int latest_version() const override;
+
+ private:
+  [[nodiscard]] std::string path_for(int version) const;
+  std::string dir_;
+};
+
+}  // namespace lck

@@ -1,0 +1,117 @@
+#pragma once
+/// \file byte_buffer.hpp
+/// \brief Little-endian byte-oriented serialization helpers.
+///
+/// ByteWriter appends POD values / byte ranges to a growable buffer;
+/// ByteReader consumes them with bounds checking. Used by the compressors
+/// and by the checkpoint file format.
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lck {
+
+/// Growable output byte stream with little-endian primitive encoding.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  /// Append a trivially-copyable value verbatim (host endianness; the
+  /// library only targets little-endian platforms, asserted in tests).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const byte_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Append raw bytes.
+  void put_bytes(std::span<const byte_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Append a length-prefixed string (u32 length + bytes).
+  void put_string(const std::string& s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Append `count` values from `data` verbatim.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_array(const T* data, std::size_t count) {
+    const auto* p = reinterpret_cast<const byte_t*>(data);
+    buf_.insert(buf_.end(), p, p + count * sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const byte_t> view() const noexcept { return buf_; }
+
+  /// Move the accumulated bytes out, leaving the writer empty.
+  [[nodiscard]] std::vector<byte_t> take() && { return std::move(buf_); }
+  [[nodiscard]] std::vector<byte_t>& bytes() noexcept { return buf_; }
+
+ private:
+  std::vector<byte_t> buf_;
+};
+
+/// Bounds-checked input byte stream matching ByteWriter's encoding.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const byte_t> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T v;
+    check(sizeof(T));
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Read `count` values into `out`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void get_array(T* out, std::size_t count) {
+    check(count * sizeof(T));
+    std::memcpy(out, data_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+  }
+
+  /// View `count` raw bytes without copying and advance.
+  std::span<const byte_t> get_bytes(std::size_t count) {
+    check(count);
+    auto s = data_.subspan(pos_, count);
+    pos_ += count;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void check(std::size_t need) const {
+    if (pos_ + need > data_.size())
+      throw corrupt_stream_error("read past end of buffer");
+  }
+  std::span<const byte_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lck

@@ -1,0 +1,100 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic, fast PRNG (xoshiro256**) plus distribution helpers.
+///
+/// All stochastic components (failure injection, workload generators, test
+/// property sweeps) draw from this generator so that every experiment is
+/// reproducible from a single seed.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lck {
+
+/// xoshiro256** by Blackman & Vigna — public-domain algorithm,
+/// reimplemented here. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ull;
+      w = (w ^ (w >> 27)) * 0x94d049bb133111ebull;
+      s = w ^ (w >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    return (*this)() % n;  // bias negligible for n << 2^64
+  }
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// times of fail-stop failures, paper §5.4).
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller.
+  double normal(double mu = 0.0, double sigma = 1.0) noexcept {
+    if (have_cached_) {
+      have_cached_ = false;
+      return mu + sigma * cached_;
+    }
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    cached_ = r * std::sin(two_pi * u2);
+    have_cached_ = true;
+    return mu + sigma * r * std::cos(two_pi * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace lck

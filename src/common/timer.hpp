@@ -1,0 +1,30 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timer for measuring real (host) execution time.
+///
+/// Note: experiment *virtual* time (cluster-scale checkpoint I/O, failure
+/// arrivals) lives in sim/virtual_clock.hpp; this timer is only for
+/// measuring real local compute such as compression throughput.
+
+#include <chrono>
+
+namespace lck {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lck

@@ -1,0 +1,39 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental type aliases and small utilities shared by all of lckpt.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lck {
+
+/// Index type used for matrix/vector dimensions. Signed 64-bit so that
+/// differences and OpenMP loop variables are well-defined.
+using index_t = std::int64_t;
+
+/// Byte type used by the compression and checkpointing layers.
+using byte_t = std::uint8_t;
+
+/// Exception thrown when a serialized stream (checkpoint file, compressed
+/// buffer) is malformed or fails an integrity check.
+class corrupt_stream_error : public std::runtime_error {
+ public:
+  explicit corrupt_stream_error(const std::string& what)
+      : std::runtime_error("lck: corrupt stream: " + what) {}
+};
+
+/// Exception thrown on invalid user-supplied configuration.
+class config_error : public std::invalid_argument {
+ public:
+  explicit config_error(const std::string& what)
+      : std::invalid_argument("lck: bad config: " + what) {}
+};
+
+/// Require a condition at runtime; throws config_error on violation.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw config_error(msg);
+}
+
+}  // namespace lck

@@ -1,0 +1,72 @@
+#pragma once
+/// \file huffman.hpp
+/// \brief Canonical Huffman coding over a generic symbol alphabet.
+///
+/// Shared by the SZ-like compressor (quantization codes) and the
+/// deflate-like lossless compressor (literal/length and distance alphabets).
+/// Codes are canonical so only the code-length array is serialized.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_io.hpp"
+#include "common/byte_buffer.hpp"
+#include "common/types.hpp"
+
+namespace lck {
+
+/// Maximum permitted code length; longer optimal codes are flattened by
+/// iterative frequency scaling (rare, only for extreme skew).
+inline constexpr unsigned kHuffmanMaxBits = 24;
+
+/// Compute optimal prefix-code lengths for `freqs` (0 frequency ⇒ length 0).
+/// Guarantees all lengths ≤ kHuffmanMaxBits.
+[[nodiscard]] std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs);
+
+/// Canonical Huffman encoder built from code lengths.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(std::span<const std::uint8_t> lengths);
+
+  void encode(BitWriter& bw, std::uint32_t symbol) const {
+    bw.write_bits(codes_[symbol], lengths_[symbol]);
+  }
+
+  [[nodiscard]] unsigned length_of(std::uint32_t symbol) const {
+    return lengths_[symbol];
+  }
+
+ private:
+  std::vector<std::uint32_t> codes_;
+  std::vector<std::uint8_t> lengths_;
+};
+
+/// Canonical Huffman decoder built from the same code lengths.
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  [[nodiscard]] std::uint32_t decode(BitReader& br) const;
+
+ private:
+  // Per length L: first canonical code value and index into sorted symbols.
+  struct LengthGroup {
+    std::uint32_t first_code = 0;
+    std::uint32_t first_index = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<LengthGroup> groups_;   // index = code length
+  std::vector<std::uint32_t> symbols_;  // sorted by (length, symbol)
+  unsigned max_len_ = 0;
+};
+
+/// Serialize a code-length array compactly (RLE of zeros + 5-bit lengths).
+void write_code_lengths(ByteWriter& out, std::span<const std::uint8_t> lengths);
+
+/// Inverse of write_code_lengths; `alphabet` is the expected array size.
+[[nodiscard]] std::vector<std::uint8_t> read_code_lengths(ByteReader& in,
+                                                          std::size_t alphabet);
+
+}  // namespace lck

@@ -1,0 +1,88 @@
+#include "compress/lossless/byte_codecs.hpp"
+
+namespace lck {
+
+std::vector<byte_t> rle_encode(std::span<const byte_t> in) {
+  std::vector<byte_t> out;
+  out.reserve(in.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    // Measure the run starting at i.
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < 130) ++run;
+    if (run >= 3) {
+      out.push_back(static_cast<byte_t>(0x80 + (run - 3)));
+      out.push_back(in[i]);
+      i += run;
+      continue;
+    }
+    // Accumulate a literal segment until the next run of >= 3 or 128 bytes.
+    std::size_t lit_end = i + 1;
+    while (lit_end < in.size() && lit_end - i < 128) {
+      std::size_t r = 1;
+      while (lit_end + r < in.size() && in[lit_end + r] == in[lit_end] && r < 3)
+        ++r;
+      if (r >= 3) break;
+      ++lit_end;
+    }
+    const std::size_t lit_len = lit_end - i;
+    out.push_back(static_cast<byte_t>(lit_len - 1));
+    out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+               in.begin() + static_cast<std::ptrdiff_t>(lit_end));
+    i = lit_end;
+  }
+  return out;
+}
+
+std::vector<byte_t> rle_decode(std::span<const byte_t> in,
+                               std::size_t expected_size) {
+  std::vector<byte_t> out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const byte_t tok = in[i++];
+    if (tok < 0x80) {
+      const std::size_t lit = static_cast<std::size_t>(tok) + 1;
+      if (i + lit > in.size())
+        throw corrupt_stream_error("rle: literal overruns input");
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + lit));
+      i += lit;
+    } else {
+      if (i >= in.size()) throw corrupt_stream_error("rle: missing run byte");
+      const std::size_t run = static_cast<std::size_t>(tok) - 0x80 + 3;
+      out.insert(out.end(), run, in[i++]);
+    }
+    if (out.size() > expected_size)
+      throw corrupt_stream_error("rle: output exceeds expected size");
+  }
+  if (out.size() != expected_size)
+    throw corrupt_stream_error("rle: output size mismatch");
+  return out;
+}
+
+std::vector<byte_t> shuffle_bytes(std::span<const byte_t> in,
+                                  std::size_t elem_size) {
+  require(elem_size > 0, "shuffle: zero element size");
+  require(in.size() % elem_size == 0, "shuffle: size not multiple of element");
+  const std::size_t n = in.size() / elem_size;
+  std::vector<byte_t> out(in.size());
+  for (std::size_t k = 0; k < elem_size; ++k)
+    for (std::size_t e = 0; e < n; ++e)
+      out[k * n + e] = in[e * elem_size + k];
+  return out;
+}
+
+std::vector<byte_t> unshuffle_bytes(std::span<const byte_t> in,
+                                    std::size_t elem_size) {
+  require(elem_size > 0, "unshuffle: zero element size");
+  require(in.size() % elem_size == 0, "unshuffle: size not multiple of element");
+  const std::size_t n = in.size() / elem_size;
+  std::vector<byte_t> out(in.size());
+  for (std::size_t k = 0; k < elem_size; ++k)
+    for (std::size_t e = 0; e < n; ++e)
+      out[e * elem_size + k] = in[k * n + e];
+  return out;
+}
+
+}  // namespace lck

@@ -1,0 +1,28 @@
+#pragma once
+/// \file byte_codecs.hpp
+/// \brief Byte-oriented lossless building blocks: run-length coding and the
+///        byte-shuffle filter for floating-point arrays.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lck {
+
+/// Run-length encode a byte stream. Token format:
+///   0x00..0x7f  -> literal run of (token+1) bytes following
+///   0x80..0xff  -> repeat next byte (token-0x7f+2) times  [3..130]
+[[nodiscard]] std::vector<byte_t> rle_encode(std::span<const byte_t> in);
+[[nodiscard]] std::vector<byte_t> rle_decode(std::span<const byte_t> in,
+                                             std::size_t expected_size);
+
+/// Byte-shuffle (transpose) filter: regroup the k-th byte of every
+/// `elem_size`-byte element together. Exposes the redundancy in the high
+/// (exponent) bytes of IEEE doubles to downstream byte coders.
+[[nodiscard]] std::vector<byte_t> shuffle_bytes(std::span<const byte_t> in,
+                                                std::size_t elem_size);
+[[nodiscard]] std::vector<byte_t> unshuffle_bytes(std::span<const byte_t> in,
+                                                  std::size_t elem_size);
+
+}  // namespace lck

@@ -1,0 +1,245 @@
+#include "compress/lossless/deflate_like.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/bit_io.hpp"
+#include "common/byte_buffer.hpp"
+#include "compress/huffman.hpp"
+
+namespace lck {
+namespace {
+
+// ----- token alphabet (DEFLATE-style) --------------------------------------
+// Literal/length alphabet: 0..255 literals, 256 end-of-block,
+// 257..284 length codes. Distance alphabet: 0..29.
+constexpr unsigned kEob = 256;
+constexpr unsigned kLitLenAlphabet = 285;
+constexpr unsigned kDistAlphabet = 30;
+constexpr std::size_t kWindowSize = 32 * 1024;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 258;
+
+struct CodeRange {
+  std::uint32_t base;
+  std::uint8_t extra_bits;
+};
+
+// Length codes 257..284 (base length, extra bits) — RFC 1951 table.
+constexpr std::array<CodeRange, 28> kLengthCodes{{
+    {3, 0},  {4, 0},  {5, 0},  {6, 0},  {7, 0},  {8, 0},  {9, 0},  {10, 0},
+    {11, 1}, {13, 1}, {15, 1}, {17, 1}, {19, 2}, {23, 2}, {27, 2}, {31, 2},
+    {35, 3}, {43, 3}, {51, 3}, {59, 3}, {67, 4}, {83, 4}, {99, 4}, {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5},
+}};
+// The RFC has code 285 = length 258 with 0 extra bits; we instead let code
+// 284's 5 extra bits cover 227..258 (one value wider than RFC). Simpler and
+// still exactly invertible.
+
+// Distance codes 0..29 (base distance, extra bits) — RFC 1951 table.
+constexpr std::array<CodeRange, 30> kDistCodes{{
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},      {5, 1},      {7, 1},
+    {9, 2},     {13, 2},    {17, 3},    {25, 3},     {33, 4},     {49, 4},
+    {65, 5},    {97, 5},    {129, 6},   {193, 6},    {257, 7},    {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},  {1537, 9},   {2049, 10},  {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12}, {16385, 13}, {24577, 13},
+}};
+
+unsigned length_code(std::size_t len) {
+  for (unsigned c = static_cast<unsigned>(kLengthCodes.size()); c-- > 0;)
+    if (len >= kLengthCodes[c].base) return c;
+  throw corrupt_stream_error("deflate: bad match length");
+}
+
+unsigned dist_code(std::size_t dist) {
+  for (unsigned c = static_cast<unsigned>(kDistCodes.size()); c-- > 0;)
+    if (dist >= kDistCodes[c].base) return c;
+  throw corrupt_stream_error("deflate: bad match distance");
+}
+
+// ----- LZ77 tokenization -----------------------------------------------------
+struct Token {
+  bool is_match;
+  byte_t literal;          // when !is_match
+  std::uint32_t length;    // when is_match
+  std::uint32_t distance;  // when is_match
+};
+
+std::uint32_t hash3(const byte_t* p) noexcept {
+  const std::uint32_t h = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (h * 2654435761u) >> 17;  // 15-bit hash
+}
+
+std::vector<Token> tokenize(std::span<const byte_t> in) {
+  constexpr std::size_t kHashSize = 1u << 15;
+  constexpr int kMaxChainProbes = 64;
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(in.size(), -1);
+  std::vector<Token> tokens;
+  tokens.reserve(in.size() / 4 + 16);
+
+  // Link position j into the chain for its 3-byte hash.
+  const auto insert = [&](std::size_t j) {
+    const std::uint32_t h = hash3(in.data() + j);
+    prev[j] = head[h];
+    head[h] = static_cast<std::int64_t>(j);
+  };
+
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t best_len = 0, best_dist = 0;
+    const bool can_hash = i + kMinMatch <= in.size();
+    if (can_hash) {
+      std::int64_t cand = head[hash3(in.data() + i)];
+      int probes = 0;
+      while (cand >= 0 && i - static_cast<std::size_t>(cand) <= kWindowSize &&
+             probes++ < kMaxChainProbes) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t limit = std::min(kMaxMatch, in.size() - i);
+        std::size_t len = 0;
+        while (len < limit && in[c + len] == in[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[c];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back({true, 0, static_cast<std::uint32_t>(best_len),
+                        static_cast<std::uint32_t>(best_dist)});
+      // Register all covered positions so later matches can reference them.
+      for (std::size_t j = i; j < i + best_len && j + kMinMatch <= in.size(); ++j)
+        insert(j);
+      i += best_len;
+    } else {
+      if (can_hash) insert(i);
+      tokens.push_back({false, in[i], 0, 0});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+constexpr byte_t kFormatHuffman = 1;
+constexpr byte_t kFormatStored = 0;
+
+}  // namespace
+
+std::vector<byte_t> deflate_compress(std::span<const byte_t> in) {
+  const std::vector<Token> tokens = tokenize(in);
+
+  // Histogram both alphabets.
+  std::vector<std::uint64_t> lit_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      ++lit_freq[257 + length_code(t.length)];
+      ++dist_freq[dist_code(t.distance)];
+    } else {
+      ++lit_freq[t.literal];
+    }
+  }
+  ++lit_freq[kEob];
+
+  const auto lit_lengths = huffman_code_lengths(lit_freq);
+  const auto dist_lengths = huffman_code_lengths(dist_freq);
+  const HuffmanEncoder lit_enc(lit_lengths);
+  const HuffmanEncoder dist_enc(dist_lengths);
+
+  ByteWriter out;
+  out.put(kFormatHuffman);
+  out.put(static_cast<std::uint64_t>(in.size()));
+  write_code_lengths(out, lit_lengths);
+  write_code_lengths(out, dist_lengths);
+
+  BitWriter bw;
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      const unsigned lc = length_code(t.length);
+      lit_enc.encode(bw, 257 + lc);
+      bw.write_bits(t.length - kLengthCodes[lc].base, kLengthCodes[lc].extra_bits);
+      const unsigned dc = dist_code(t.distance);
+      dist_enc.encode(bw, dc);
+      bw.write_bits(t.distance - kDistCodes[dc].base, kDistCodes[dc].extra_bits);
+    } else {
+      lit_enc.encode(bw, t.literal);
+    }
+  }
+  lit_enc.encode(bw, kEob);
+  const auto payload = bw.finish();
+  out.put(static_cast<std::uint64_t>(payload.size()));
+  out.put_bytes(payload);
+
+  // Stored fallback if "compression" expanded the data.
+  if (out.size() >= in.size() + 9) {
+    ByteWriter stored;
+    stored.put(kFormatStored);
+    stored.put(static_cast<std::uint64_t>(in.size()));
+    stored.put_bytes(in);
+    return std::move(stored).take();
+  }
+  return std::move(out).take();
+}
+
+std::vector<byte_t> deflate_decompress(std::span<const byte_t> in,
+                                       std::size_t expected_size) {
+  ByteReader r(in);
+  const auto format = r.get<byte_t>();
+  const auto orig_size = r.get<std::uint64_t>();
+  if (orig_size != expected_size)
+    throw corrupt_stream_error("deflate: size mismatch");
+
+  std::vector<byte_t> out;
+  out.reserve(expected_size);
+
+  if (format == kFormatStored) {
+    const auto bytes = r.get_bytes(expected_size);
+    out.assign(bytes.begin(), bytes.end());
+    return out;
+  }
+  if (format != kFormatHuffman)
+    throw corrupt_stream_error("deflate: unknown format byte");
+
+  const auto lit_lengths = read_code_lengths(r, kLitLenAlphabet);
+  const auto dist_lengths = read_code_lengths(r, kDistAlphabet);
+  const HuffmanDecoder lit_dec(lit_lengths);
+  const HuffmanDecoder dist_dec(dist_lengths);
+  const auto payload_size = r.get<std::uint64_t>();
+  BitReader br(r.get_bytes(payload_size));
+
+  for (;;) {
+    const std::uint32_t sym = lit_dec.decode(br);
+    if (sym == kEob) break;
+    if (sym < 256) {
+      out.push_back(static_cast<byte_t>(sym));
+    } else {
+      const unsigned lc = sym - 257;
+      if (lc >= kLengthCodes.size())
+        throw corrupt_stream_error("deflate: bad length symbol");
+      const std::size_t len =
+          kLengthCodes[lc].base +
+          br.read_bits(kLengthCodes[lc].extra_bits);
+      const unsigned dc = dist_dec.decode(br);
+      if (dc >= kDistCodes.size())
+        throw corrupt_stream_error("deflate: bad distance symbol");
+      const std::size_t dist =
+          kDistCodes[dc].base + br.read_bits(kDistCodes[dc].extra_bits);
+      if (dist == 0 || dist > out.size())
+        throw corrupt_stream_error("deflate: distance out of window");
+      for (std::size_t k = 0; k < len; ++k)
+        out.push_back(out[out.size() - dist]);
+    }
+    if (out.size() > expected_size)
+      throw corrupt_stream_error("deflate: output exceeds expected size");
+  }
+  if (out.size() != expected_size)
+    throw corrupt_stream_error("deflate: output size mismatch");
+  return out;
+}
+
+}  // namespace lck

@@ -1,0 +1,27 @@
+#pragma once
+/// \file deflate_like.hpp
+/// \brief LZ77 + canonical-Huffman byte compressor (the repo's gzip/DEFLATE
+///        stand-in for "lossless checkpointing" in the paper).
+///
+/// Same algorithm family as RFC 1951: a 32 KiB sliding window with
+/// hash-chain match finding, literals/lengths and distances entropy-coded
+/// with dynamic canonical Huffman tables. The container format is custom
+/// (single block, tables serialized via write_code_lengths) — we reproduce
+/// the algorithm class, not the gzip file format.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lck {
+
+/// Compress raw bytes. Always succeeds; incompressible input grows by a few
+/// header bytes (a "stored" fallback keeps the worst case small).
+[[nodiscard]] std::vector<byte_t> deflate_compress(std::span<const byte_t> in);
+
+/// Decompress; `expected_size` must match the original input size.
+[[nodiscard]] std::vector<byte_t> deflate_decompress(std::span<const byte_t> in,
+                                                     std::size_t expected_size);
+
+}  // namespace lck

@@ -1,0 +1,50 @@
+#pragma once
+/// \file lossless_compressors.hpp
+/// \brief Compressor-interface wrappers around the lossless byte codecs:
+///        RLE, shuffle+RLE, deflate-like, shuffle+deflate.
+
+#include "compress/compressor.hpp"
+
+namespace lck {
+
+/// Byte-level run-length coding of the raw double array.
+class RleCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "rle"; }
+  [[nodiscard]] bool lossy() const noexcept override { return false; }
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const double> data) const override;
+  void decompress(std::span<const byte_t> stream,
+                  std::span<double> out) const override;
+};
+
+/// LZ77 + Huffman on the raw double array — the gzip stand-in used for
+/// "lossless checkpointing" in the paper's evaluation.
+class DeflateCompressor final : public Compressor {
+ public:
+  explicit DeflateCompressor(bool shuffle = false) : shuffle_(shuffle) {}
+  [[nodiscard]] std::string name() const override {
+    return shuffle_ ? "shuffle-deflate" : "deflate";
+  }
+  [[nodiscard]] bool lossy() const noexcept override { return false; }
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const double> data) const override;
+  void decompress(std::span<const byte_t> stream,
+                  std::span<double> out) const override;
+
+ private:
+  bool shuffle_;
+};
+
+/// Byte-shuffle + RLE (fast, moderate ratio on smooth data).
+class ShuffleRleCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "shuffle-rle"; }
+  [[nodiscard]] bool lossy() const noexcept override { return false; }
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const double> data) const override;
+  void decompress(std::span<const byte_t> stream,
+                  std::span<double> out) const override;
+};
+
+}  // namespace lck

@@ -1,0 +1,278 @@
+#include "compress/sz/sz_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bit_io.hpp"
+#include "common/byte_buffer.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lossless/byte_codecs.hpp"
+
+namespace lck {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x315a5331u;  // "1SZ1"
+constexpr std::uint32_t kRadius = SzLikeCompressor::kQuantRadius;
+constexpr std::uint32_t kAlphabet = 2 * kRadius;  // code 0 = unpredictable
+
+/// Adaptive 3-predictor bank over the reconstructed history. Encoder and
+/// decoder both run this deterministically.
+class PredictorBank {
+ public:
+  /// Prediction for the next point given reconstructed history h1=x'_{i-1},
+  /// h2=x'_{i-2}, h3=x'_{i-3} (zeros until warm).
+  [[nodiscard]] double predict() const noexcept {
+    switch (best_) {
+      case 1: return 2.0 * h1_ - h2_;              // linear extrapolation
+      case 2: return 3.0 * h1_ - 3.0 * h2_ + h3_;  // quadratic extrapolation
+      default: return h1_;                         // constant (Lorenzo-1D)
+    }
+  }
+
+  /// After reconstructing x', update history and re-rank predictors by
+  /// their error on this point (hindsight adaptation, no side info).
+  void push(double reconstructed) noexcept {
+    const double e0 = std::fabs(reconstructed - h1_);
+    const double e1 = std::fabs(reconstructed - (2.0 * h1_ - h2_));
+    const double e2 = std::fabs(reconstructed - (3.0 * h1_ - 3.0 * h2_ + h3_));
+    best_ = 0;
+    double be = e0;
+    if (e1 < be) { best_ = 1; be = e1; }
+    if (e2 < be) { best_ = 2; }
+    h3_ = h2_;
+    h2_ = h1_;
+    h1_ = reconstructed;
+  }
+
+ private:
+  double h1_ = 0.0, h2_ = 0.0, h3_ = 0.0;
+  int best_ = 0;
+};
+
+/// Core absolute-error-bounded compressor for a raw double sequence.
+/// Appends to `out`: quantizer params, Huffman table, outliers, payload.
+void core_compress(ByteWriter& out, std::span<const double> data, double eb) {
+  const std::size_t n = data.size();
+  std::vector<std::uint32_t> codes(n);
+  std::vector<double> outliers;
+  PredictorBank bank;
+
+  const double inv_step = eb > 0.0 ? 1.0 / (2.0 * eb) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = data[i];
+    const double pred = bank.predict();
+    double reconstructed;
+    std::uint32_t code = 0;
+    if (eb > 0.0 && std::isfinite(pred)) {
+      const double q = std::nearbyint((x - pred) * inv_step);
+      if (std::fabs(q) < static_cast<double>(kRadius)) {
+        const double candidate = pred + 2.0 * eb * q;
+        if (std::fabs(candidate - x) <= eb) {
+          code = static_cast<std::uint32_t>(static_cast<std::int64_t>(q) +
+                                            static_cast<std::int64_t>(kRadius));
+          reconstructed = candidate;
+          codes[i] = code;
+          bank.push(reconstructed);
+          continue;
+        }
+      }
+    }
+    // Unpredictable: store verbatim (exact).
+    codes[i] = 0;
+    outliers.push_back(x);
+    bank.push(x);
+  }
+
+  std::vector<std::uint64_t> freq(kAlphabet, 0);
+  for (const auto c : codes) ++freq[c];
+  const auto lengths = huffman_code_lengths(freq);
+  const HuffmanEncoder enc(lengths);
+
+  out.put(eb);
+  out.put(static_cast<std::uint64_t>(n));
+  out.put(kRadius);
+  write_code_lengths(out, lengths);
+  out.put(static_cast<std::uint64_t>(outliers.size()));
+  out.put_array(outliers.data(), outliers.size());
+
+  BitWriter bw;
+  for (const auto c : codes) enc.encode(bw, c);
+  const auto payload = bw.finish();
+  out.put(static_cast<std::uint64_t>(payload.size()));
+  out.put_bytes(payload);
+}
+
+/// Inverse of core_compress. Returns exactly `expect_n` doubles.
+std::vector<double> core_decompress(ByteReader& in, std::size_t expect_n) {
+  const auto eb = in.get<double>();
+  const auto n = in.get<std::uint64_t>();
+  const auto radius = in.get<std::uint32_t>();
+  if (n != expect_n) throw corrupt_stream_error("sz: element count mismatch");
+  if (radius != kRadius) throw corrupt_stream_error("sz: radius mismatch");
+
+  const auto lengths = read_code_lengths(in, kAlphabet);
+  const HuffmanDecoder dec(lengths);
+  const auto outlier_count = in.get<std::uint64_t>();
+  std::vector<double> outliers(outlier_count);
+  in.get_array(outliers.data(), outlier_count);
+  const auto payload_size = in.get<std::uint64_t>();
+  BitReader br(in.get_bytes(payload_size));
+
+  std::vector<double> out(n);
+  PredictorBank bank;
+  std::size_t next_outlier = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t code = dec.decode(br);
+    double x;
+    if (code == 0) {
+      if (next_outlier >= outliers.size())
+        throw corrupt_stream_error("sz: outlier stream exhausted");
+      x = outliers[next_outlier++];
+    } else {
+      const double q = static_cast<double>(static_cast<std::int64_t>(code) -
+                                           static_cast<std::int64_t>(radius));
+      x = bank.predict() + 2.0 * eb * q;
+    }
+    out[i] = x;
+    bank.push(x);
+  }
+  if (next_outlier != outliers.size())
+    throw corrupt_stream_error("sz: unused outliers");
+  return out;
+}
+
+/// Write a bitset of n bits, RLE-compressed: solver sign/zero masks are
+/// almost always constant, so this costs ~0 bits per element instead of 1.
+void write_bitset(ByteWriter& out, const std::vector<bool>& bits) {
+  BitWriter bw;
+  for (const bool b : bits) bw.write_bit(b ? 1u : 0u);
+  const auto packed = bw.finish();
+  const auto rle = rle_encode(packed);
+  out.put(static_cast<std::uint64_t>(rle.size()));
+  out.put_bytes(rle);
+}
+
+std::vector<bool> read_bitset(ByteReader& in, std::size_t n) {
+  const auto rle_size = in.get<std::uint64_t>();
+  const auto packed = rle_decode(in.get_bytes(rle_size), (n + 7) / 8);
+  BitReader br(packed);
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = br.read_bit() != 0;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<byte_t> SzLikeCompressor::compress(
+    std::span<const double> data) const {
+  const std::size_t n = data.size();
+  ByteWriter out(n / 2 + 64);
+  out.put(kMagic);
+  out.put(static_cast<std::uint64_t>(n));
+  out.put(static_cast<std::uint8_t>(eb_.mode));
+  out.put(eb_.value);
+
+  switch (eb_.mode) {
+    case ErrorBound::Mode::kAbsolute: {
+      core_compress(out, data, eb_.value);
+      break;
+    }
+    case ErrorBound::Mode::kValueRangeRelative: {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const double x : data) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      const double range = n > 0 ? hi - lo : 0.0;
+      const double eb_abs = range > 0.0 ? eb_.value * range : eb_.value;
+      core_compress(out, data, eb_abs);
+      break;
+    }
+    case ErrorBound::Mode::kPointwiseRelative: {
+      // Log-transform: compress log2|x| with absolute bound log2(1+eb).
+      // Zeros and non-finite values are recorded exactly via bitmaps.
+      std::vector<bool> zero_mask(n), sign_mask(n);
+      std::vector<double> logs;
+      logs.reserve(n);
+      // eb == 0 means lossless; the log/exp round trip is not bit-exact, so
+      // route every element through the verbatim path in that case.
+      const bool exact_only = eb_.value <= 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = data[i];
+        const bool is_zero = exact_only || x == 0.0 || !std::isfinite(x) ||
+                             std::fabs(x) < std::numeric_limits<double>::min();
+        zero_mask[i] = is_zero;
+        sign_mask[i] = std::signbit(x);
+        if (!is_zero) logs.push_back(std::log2(std::fabs(x)));
+      }
+      write_bitset(out, zero_mask);
+      write_bitset(out, sign_mask);
+      // Subnormals/non-finites fall into the "exact" path via zero_mask=1 +
+      // verbatim storage below.
+      std::vector<double> exact;
+      for (std::size_t i = 0; i < n; ++i)
+        if (zero_mask[i]) exact.push_back(data[i]);
+      out.put(static_cast<std::uint64_t>(exact.size()));
+      out.put_array(exact.data(), exact.size());
+
+      // 0.999 safety factor absorbs the log2/exp2 rounding so the pointwise
+      // bound |x−x'| ≤ eb·|x| holds exactly (verified by property tests).
+      const double log_eb = std::log2(1.0 + 0.999 * eb_.value);
+      out.put(static_cast<std::uint64_t>(logs.size()));
+      core_compress(out, logs, log_eb);
+      break;
+    }
+  }
+  return std::move(out).take();
+}
+
+void SzLikeCompressor::decompress(std::span<const byte_t> stream,
+                                  std::span<double> out) const {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagic)
+    throw corrupt_stream_error("sz: bad magic");
+  const auto n = in.get<std::uint64_t>();
+  if (n != out.size()) throw corrupt_stream_error("sz: output size mismatch");
+  const auto mode = static_cast<ErrorBound::Mode>(in.get<std::uint8_t>());
+  (void)in.get<double>();  // eb value (informational)
+
+  switch (mode) {
+    case ErrorBound::Mode::kAbsolute:
+    case ErrorBound::Mode::kValueRangeRelative: {
+      const auto vals = core_decompress(in, n);
+      std::copy(vals.begin(), vals.end(), out.begin());
+      break;
+    }
+    case ErrorBound::Mode::kPointwiseRelative: {
+      const auto zero_mask = read_bitset(in, n);
+      const auto sign_mask = read_bitset(in, n);
+      const auto exact_count = in.get<std::uint64_t>();
+      std::vector<double> exact(exact_count);
+      in.get_array(exact.data(), exact_count);
+      const auto log_count = in.get<std::uint64_t>();
+      const auto logs = core_decompress(in, log_count);
+
+      std::size_t li = 0, ei = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (zero_mask[i]) {
+          if (ei >= exact.size())
+            throw corrupt_stream_error("sz: exact stream exhausted");
+          out[i] = exact[ei++];
+        } else {
+          if (li >= logs.size())
+            throw corrupt_stream_error("sz: log stream exhausted");
+          const double mag = std::exp2(logs[li++]);
+          out[i] = sign_mask[i] ? -mag : mag;
+        }
+      }
+      break;
+    }
+    default:
+      throw corrupt_stream_error("sz: unknown error-bound mode");
+  }
+}
+
+}  // namespace lck

@@ -1,0 +1,32 @@
+#pragma once
+/// \file truncation.hpp
+/// \brief Mantissa-truncation lossy compressor ("bit grooming"), a simple
+///        baseline from the scientific-data-reduction literature the paper
+///        cites (§2): round each double's mantissa to the coarsest
+///        precision that respects the absolute error bound, then pass the
+///        now highly-redundant bytes through shuffle + deflate.
+///
+/// Serves as the third lossy design point next to prediction-based (SZ)
+/// and transform-based (ZFP) compression in the ablation benches. Supports
+/// kAbsolute and kValueRangeRelative natively; wrap in
+/// PointwiseRelativeAdapter for the paper's pointwise-relative semantics.
+
+#include "compress/compressor.hpp"
+
+namespace lck {
+
+class TruncationCompressor final : public LossyCompressor {
+ public:
+  explicit TruncationCompressor(ErrorBound eb = ErrorBound::absolute(1e-6))
+      : LossyCompressor(eb) {}
+
+  [[nodiscard]] std::string name() const override { return "trunc"; }
+
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const double> data) const override;
+
+  void decompress(std::span<const byte_t> stream,
+                  std::span<double> out) const override;
+};
+
+}  // namespace lck

@@ -1,0 +1,43 @@
+#pragma once
+/// \file zfp_like.hpp
+/// \brief ZFP-style transform-based error-bounded lossy compressor
+///        (stand-in for the ZFP comparison point in the paper).
+///
+/// Operates on 1-D blocks of 4 doubles in fixed-accuracy mode:
+///  1. Block floating point: align the block to its maximum exponent and
+///     convert to 52-bit fixed point.
+///  2. Two-level integer S-transform (exactly invertible lifting) —
+///     the orthogonal-transform decorrelation step.
+///  3. Negabinary mapping to unsigned (bit-plane truncation in negabinary
+///     is error-bounded, unlike two's complement) and embedded bit-plane
+///     coding, truncated at the plane where the accumulated error stays
+///     within the bound.
+///
+/// Every encoded block is verified against the error bound during
+/// compression; blocks that would violate it (pathological cancellation)
+/// are stored verbatim, so the bound holds unconditionally.
+///
+/// Supports kAbsolute and kValueRangeRelative bounds natively; wrap in
+/// PointwiseRelativeAdapter for the paper's pointwise-relative semantics.
+
+#include "compress/compressor.hpp"
+
+namespace lck {
+
+class ZfpLikeCompressor final : public LossyCompressor {
+ public:
+  explicit ZfpLikeCompressor(ErrorBound eb = ErrorBound::absolute(1e-6))
+      : LossyCompressor(eb) {}
+
+  [[nodiscard]] std::string name() const override { return "zfp"; }
+
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const double> data) const override;
+
+  void decompress(std::span<const byte_t> stream,
+                  std::span<double> out) const override;
+
+  static constexpr std::size_t kBlockSize = 4;
+};
+
+}  // namespace lck

@@ -1,0 +1,216 @@
+#include "core/resilient_runner.hpp"
+
+#include <cmath>
+
+#include "sim/perf_model.hpp"
+
+namespace lck {
+
+const char* to_string(CkptScheme s) noexcept {
+  switch (s) {
+    case CkptScheme::kTraditional: return "traditional";
+    case CkptScheme::kLossless: return "lossless";
+    case CkptScheme::kLossy: return "lossy";
+  }
+  return "?";
+}
+
+ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
+    : solver_(solver),
+      cfg_(std::move(cfg)),
+      injector_(cfg_.mtti_seconds, cfg_.seed, cfg_.inject_failures) {
+  require(cfg_.ckpt_interval_seconds > 0.0,
+          "runner: checkpoint interval must be positive");
+  require(cfg_.iteration_seconds > 0.0,
+          "runner: iteration time must be positive");
+  require(cfg_.dynamic_scale > 0.0, "runner: dynamic scale must be positive");
+
+  switch (cfg_.scheme) {
+    case CkptScheme::kTraditional:
+      compressor_ = std::make_unique<NoneCompressor>();
+      break;
+    case CkptScheme::kLossless:
+      compressor_ = make_compressor(cfg_.lossless_compressor);
+      require(!compressor_->lossy(),
+              "runner: lossless scheme given a lossy compressor");
+      break;
+    case CkptScheme::kLossy:
+      compressor_ = make_compressor(cfg_.lossy_compressor, cfg_.lossy_eb);
+      lossy_ = dynamic_cast<LossyCompressor*>(compressor_.get());
+      require(lossy_ != nullptr,
+              "runner: lossy scheme requires a lossy compressor");
+      break;
+  }
+  manager_ = std::make_unique<CheckpointManager>(
+      std::make_unique<MemoryStore>(), compressor_.get());
+  // Keep the previous checkpoint until the new one commits, so a failure
+  // mid-write cannot leave us without any recovery point.
+  manager_->set_retention(2);
+  register_variables();
+}
+
+void ResilientRunner::register_variables() {
+  if (cfg_.scheme == CkptScheme::kLossy) {
+    // Paper Algorithm 2 line 5: checkpoint i and the compressed x only.
+    x_buf_ = solver_.solution();
+    manager_->protect(0, "x", &x_buf_);
+    manager_->protect_blob(1, "iter", &iter_blob_);
+  } else {
+    // Paper Algorithm 1 line 4: all dynamic vectors plus scalars.
+    int id = 0;
+    for (const auto& var : solver_.checkpoint_vectors())
+      manager_->protect(id++, var.name, var.data);
+    manager_->protect_blob(100, "scalars", &scalar_blob_);
+  }
+}
+
+double ResilientRunner::checkpoint_duration(
+    const CheckpointRecord& rec) const {
+  const double stored = static_cast<double>(rec.stored_bytes) *
+                        cfg_.dynamic_scale;
+  const double raw = static_cast<double>(rec.raw_bytes) * cfg_.dynamic_scale;
+  double seconds = cfg_.cluster.write_seconds(stored);
+  if (cfg_.scheme == CkptScheme::kLossy)
+    seconds += cfg_.cluster.compress_seconds(raw);
+  else if (cfg_.scheme == CkptScheme::kLossless)
+    seconds += cfg_.cluster.lossless_compress_seconds(raw);
+  return seconds;
+}
+
+double ResilientRunner::recovery_duration(double stored_bytes,
+                                          double raw_dynamic_bytes) const {
+  // Recovery re-reads the checkpoint plus the static state (A, M, b) and
+  // decompresses the dynamic payload — paper §5.3 (recovery > checkpoint).
+  double seconds =
+      cfg_.cluster.read_seconds(stored_bytes + cfg_.static_bytes);
+  if (cfg_.scheme == CkptScheme::kLossy)
+    seconds += cfg_.cluster.decompress_seconds(raw_dynamic_bytes);
+  else if (cfg_.scheme == CkptScheme::kLossless)
+    seconds += cfg_.cluster.lossless_decompress_seconds(raw_dynamic_bytes);
+  return seconds;
+}
+
+void ResilientRunner::refresh_adaptive_bound() {
+  if (lossy_ == nullptr || !cfg_.adaptive_error_bound) return;
+  const double eb = theorem3_gmres_error_bound(
+      solver_.residual_norm(), solver_.rhs_norm(), cfg_.adaptive_theta);
+  lossy_->set_error_bound(ErrorBound::pointwise_rel(eb));
+}
+
+bool ResilientRunner::do_checkpoint() {
+  if (cfg_.scheme == CkptScheme::kLossy) {
+    refresh_adaptive_bound();
+    x_buf_ = solver_.solution();
+    ByteWriter bw;
+    bw.put(static_cast<std::int64_t>(solver_.iteration()));
+    iter_blob_ = std::move(bw).take();
+  } else {
+    (void)solver_.solution();  // materialize x for basis-backed solvers
+    ByteWriter bw;
+    solver_.save_scalars(bw);
+    scalar_blob_ = std::move(bw).take();
+  }
+  const CheckpointRecord rec = manager_->checkpoint();
+  const double duration = checkpoint_duration(rec);
+
+  if (injector_.interrupts(t_, duration)) {
+    // Failure mid-write: the new version must not be used for recovery.
+    manager_->discard_version(rec.version);
+    t_ = injector_.next_failure_time();
+    handle_failure();
+    return false;
+  }
+
+  t_ += duration;
+  last_ckpt_t_ = t_;
+  ckpt_iteration_ = solver_.iteration();
+  stored_bytes_last_ =
+      static_cast<double>(rec.stored_bytes) * cfg_.dynamic_scale;
+  raw_dyn_bytes_last_ = static_cast<double>(rec.raw_bytes) * cfg_.dynamic_scale;
+  ++result_.checkpoints;
+  result_.ckpt_seconds_total += duration;
+  result_.mean_ckpt_stored_bytes += (stored_bytes_last_ -
+                                     result_.mean_ckpt_stored_bytes) /
+                                    result_.checkpoints;
+  if (rec.stored_bytes > 0)
+    result_.compression_ratio =
+        static_cast<double>(rec.raw_bytes) /
+        static_cast<double>(rec.stored_bytes);
+  return true;
+}
+
+void ResilientRunner::handle_failure() {
+  ++result_.failures;
+  injector_.arm(t_);
+
+  // Recovery, which may itself be interrupted by further failures.
+  for (;;) {
+    const bool have_ckpt = manager_->has_checkpoint();
+    const double duration =
+        have_ckpt
+            ? recovery_duration(stored_bytes_last_, raw_dyn_bytes_last_)
+            : cfg_.cluster.read_seconds(cfg_.static_bytes);
+    if (injector_.interrupts(t_, duration)) {
+      t_ = injector_.next_failure_time();
+      ++result_.failures;
+      injector_.arm(t_);
+      continue;
+    }
+    t_ += duration;
+    result_.recovery_seconds_total += duration;
+    ++result_.recoveries;
+
+    if (have_ckpt) {
+      manager_->recover();
+      if (cfg_.scheme == CkptScheme::kLossy) {
+        // Algorithm 2 lines 8–13: decompressed x is the new initial guess.
+        solver_.restart(x_buf_);
+        ByteReader br(iter_blob_);
+        solver_.set_iteration(br.get<std::int64_t>());
+      } else {
+        ByteReader br(scalar_blob_);
+        solver_.restore_scalars(br);
+        solver_.resume_after_restore();
+      }
+    } else {
+      // No checkpoint yet: global restart from the initial guess.
+      const Vector zero(solver_.rhs().size(), 0.0);
+      solver_.restart(zero);
+      solver_.set_iteration(0);
+    }
+    break;
+  }
+  last_ckpt_t_ = t_;  // checkpoint timer restarts after recovery
+}
+
+ResilienceResult ResilientRunner::run() {
+  while (!solver_.converged() && result_.executed_steps < cfg_.max_steps) {
+    // Failure strictly inside the next iteration's window?
+    if (injector_.interrupts(t_, cfg_.iteration_seconds)) {
+      t_ = injector_.next_failure_time();
+      handle_failure();
+      continue;
+    }
+    solver_.step();
+    ++result_.executed_steps;
+    t_ += cfg_.iteration_seconds;
+
+    if (!solver_.converged() &&
+        t_ - last_ckpt_t_ >= cfg_.ckpt_interval_seconds)
+      do_checkpoint();
+  }
+
+  result_.converged = solver_.converged();
+  result_.convergence_iteration = solver_.iteration();
+  result_.final_residual_norm = solver_.residual_norm();
+  result_.virtual_seconds = t_;
+  if (result_.checkpoints > 0)
+    result_.mean_ckpt_seconds =
+        result_.ckpt_seconds_total / result_.checkpoints;
+  if (result_.recoveries > 0)
+    result_.mean_recovery_seconds =
+        result_.recovery_seconds_total / result_.recoveries;
+  return result_;
+}
+
+}  // namespace lck

@@ -1,0 +1,69 @@
+#pragma once
+/// \file parallel_for.hpp
+/// \brief Thin OpenMP wrappers so the rest of the library stays free of
+///        pragmas and compiles (serially) without OpenMP.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace lck {
+
+/// Number of hardware threads OpenMP will use (1 without OpenMP).
+inline int num_threads() noexcept {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel loop over [begin, end) with static scheduling.
+/// `body` receives the loop index.
+template <typename Body>
+void parallel_for(index_t begin, index_t end, Body&& body) {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (index_t i = begin; i < end; ++i) body(i);
+#else
+  for (index_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+/// Parallel sum-reduction over [begin, end); `body(i)` returns the term.
+template <typename Body>
+double parallel_reduce_sum(index_t begin, index_t end, Body&& body) {
+  double sum = 0.0;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (index_t i = begin; i < end; ++i) sum += body(i);
+#else
+  for (index_t i = begin; i < end; ++i) sum += body(i);
+#endif
+  return sum;
+}
+
+/// Parallel max-reduction over [begin, end); `body(i)` returns the term.
+template <typename Body>
+double parallel_reduce_max(index_t begin, index_t end, Body&& body) {
+  double m = 0.0;
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static) reduction(max : m)
+  for (index_t i = begin; i < end; ++i) {
+    const double v = body(i);
+    if (v > m) m = v;
+  }
+#else
+  for (index_t i = begin; i < end; ++i) {
+    const double v = body(i);
+    if (v > m) m = v;
+  }
+#endif
+  return m;
+}
+
+}  // namespace lck

@@ -1,0 +1,71 @@
+#pragma once
+/// \file cluster_model.hpp
+/// \brief Virtual-time model of the paper's 2,048-core Bebop environment:
+///        PFS write/read bandwidth and parallel (de)compression throughput.
+///
+/// Calibration (DESIGN.md §6, all straight from the paper):
+///  - 78.8 GB traditional checkpoint takes ~120 s at 2,048 ranks
+///    ⇒ aggregate PFS write bandwidth ≈ 0.657 GB/s (shared, so checkpoint
+///    time grows linearly with total data — paper Figs. 4–6).
+///  - SZ compression runs at 80 GB/s and decompression at 180 GB/s on
+///    1,024 cores with ~90 % parallel efficiency (paper §5.3).
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace lck {
+
+struct ClusterModel {
+  int ranks = 2048;                ///< Logical MPI ranks.
+  double pfs_write_bw = 0.8e9;     ///< Aggregate bytes/s to PFS.
+  double pfs_read_bw = 0.8e9;      ///< Aggregate bytes/s from PFS.
+  double pfs_latency = 1.0;        ///< Fixed per-operation seconds.
+  /// Per-rank metadata/contention cost of a collective PFS operation
+  /// (MPI-IO open/sync); this is what keeps small lossy checkpoints from
+  /// being free and makes Figs. 4–6 grow linearly with ranks.
+  double pfs_per_rank_overhead = 0.01;
+  double compress_bw_per_rank = 80.0e9 / 1024.0;    ///< bytes/s/rank (SZ-class).
+  double decompress_bw_per_rank = 180.0e9 / 1024.0; ///< bytes/s/rank (SZ-class).
+  double parallel_efficiency = 0.9;
+  /// gzip-class lossless throughput per rank (each rank compresses its own
+  /// block independently).
+  double lossless_compress_bw_per_rank = 60.0e6;
+  double lossless_decompress_bw_per_rank = 200.0e6;
+
+  /// Seconds to write `bytes` to the PFS.
+  [[nodiscard]] double write_seconds(double bytes) const noexcept {
+    return pfs_latency + pfs_per_rank_overhead * ranks + bytes / pfs_write_bw;
+  }
+  /// Seconds to read `bytes` from the PFS.
+  [[nodiscard]] double read_seconds(double bytes) const noexcept {
+    return pfs_latency + pfs_per_rank_overhead * ranks + bytes / pfs_read_bw;
+  }
+  /// Seconds to lossy-compress `bytes` across all ranks in parallel.
+  [[nodiscard]] double compress_seconds(double bytes) const noexcept {
+    return bytes / (compress_bw_per_rank * ranks * parallel_efficiency);
+  }
+  /// Seconds to decompress `bytes` across all ranks in parallel.
+  [[nodiscard]] double decompress_seconds(double bytes) const noexcept {
+    return bytes / (decompress_bw_per_rank * ranks * parallel_efficiency);
+  }
+  /// Seconds for gzip-class lossless compression of `bytes` across ranks.
+  [[nodiscard]] double lossless_compress_seconds(double bytes) const noexcept {
+    return bytes / (lossless_compress_bw_per_rank * ranks * parallel_efficiency);
+  }
+  /// Seconds for gzip-class lossless decompression of `bytes` across ranks.
+  [[nodiscard]] double lossless_decompress_seconds(double bytes) const noexcept {
+    return bytes /
+           (lossless_decompress_bw_per_rank * ranks * parallel_efficiency);
+  }
+
+  /// Model with the same per-rank characteristics at a different scale
+  /// (PFS bandwidth is a shared resource and does not scale with ranks).
+  [[nodiscard]] ClusterModel with_ranks(int r) const noexcept {
+    ClusterModel m = *this;
+    m.ranks = r;
+    return m;
+  }
+};
+
+}  // namespace lck

@@ -1,0 +1,48 @@
+#pragma once
+/// \file failure.hpp
+/// \brief Fail-stop failure injection with exponentially distributed
+///        inter-arrival times (paper §5.4: "the failure intervals follow an
+///        exponential distribution"). Failures may land during computation,
+///        checkpointing, or recovery.
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace lck {
+
+class FailureInjector {
+ public:
+  /// `mtti_seconds` is the mean time to interruption (λ = 1/MTTI);
+  /// pass enabled=false for failure-free baselines.
+  FailureInjector(double mtti_seconds, std::uint64_t seed, bool enabled = true)
+      : rng_(seed), mtti_(mtti_seconds), enabled_(enabled) {
+    require(mtti_seconds > 0.0, "failure injector: MTTI must be positive");
+    arm(0.0);
+  }
+
+  /// Virtual time of the next failure (infinity when disabled).
+  [[nodiscard]] double next_failure_time() const noexcept { return next_; }
+
+  /// True if a failure strikes strictly inside (start, start+duration].
+  [[nodiscard]] bool interrupts(double start, double duration) const noexcept {
+    return enabled_ && next_ > start && next_ <= start + duration;
+  }
+
+  /// Re-arm after handling a failure (or to skip one): samples the next
+  /// arrival at `now` + Exp(MTTI).
+  void arm(double now) {
+    next_ = enabled_ ? now + rng_.exponential(mtti_)
+                     : std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] double mtti() const noexcept { return mtti_; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+ private:
+  Rng rng_;
+  double mtti_;
+  bool enabled_;
+  double next_ = 0.0;
+};
+
+}  // namespace lck

@@ -1,0 +1,68 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lck {
+
+double overhead_kernel(double t_ckp, double lambda) noexcept {
+  return std::sqrt(2.0 * lambda * t_ckp) + lambda * t_ckp;
+}
+
+double young_interval_seconds(double t_ckp, double mtti_seconds) noexcept {
+  return std::sqrt(2.0 * mtti_seconds * t_ckp);
+}
+
+double expected_overhead_ratio(double t_ckp, double lambda) noexcept {
+  const double f = overhead_kernel(t_ckp, lambda);
+  if (f >= 1.0) return std::numeric_limits<double>::infinity();
+  return f / (1.0 - f);
+}
+
+double expected_overhead_ratio_lossy(double t_ckp_lossy, double lambda,
+                                     double n_prime, double t_it) noexcept {
+  const double f =
+      overhead_kernel(t_ckp_lossy, lambda) + lambda * n_prime * t_it;
+  if (f >= 1.0) return std::numeric_limits<double>::infinity();
+  return f / (1.0 - f);
+}
+
+double theorem1_nprime_budget(double t_ckp_trad, double t_ckp_lossy,
+                              double lambda, double t_it) noexcept {
+  return (overhead_kernel(t_ckp_trad, lambda) -
+          overhead_kernel(t_ckp_lossy, lambda)) /
+         (lambda * t_it);
+}
+
+double theorem2_extra_iterations_at(double spectral_radius, double eb,
+                                    double t) noexcept {
+  // N′(t) = t − log_R(R^t + eb);  log_R(y) = ln(y)/ln(R), R in (0,1).
+  const double r_t = std::pow(spectral_radius, t);
+  const double log_r = std::log(spectral_radius);
+  return t - std::log(r_t + eb) / log_r;
+}
+
+StationaryBound theorem2_expected_bound(double spectral_radius, double eb,
+                                        double n_iters) noexcept {
+  return {theorem2_extra_iterations_at(spectral_radius, eb,
+                                       (n_iters + 1.0) / 2.0),
+          theorem2_extra_iterations_at(spectral_radius, eb, n_iters)};
+}
+
+double theorem3_gmres_error_bound(double residual_norm, double rhs_norm,
+                                  double theta) noexcept {
+  if (rhs_norm <= 0.0) return 1e-12;
+  const double eb = theta * residual_norm / rhs_norm;
+  // Clamp to a sane range: never looser than 10% relative error, never
+  // tighter than double precision allows.
+  return std::clamp(eb, 1e-15, 0.1);
+}
+
+double expected_total_seconds(double n_iters, double t_it, double t_ckp,
+                              double lambda, double n_prime) noexcept {
+  const double f = overhead_kernel(t_ckp, lambda) + lambda * n_prime * t_it;
+  if (f >= 1.0) return std::numeric_limits<double>::infinity();
+  return n_iters * t_it / (1.0 - f);
+}
+
+}  // namespace lck

@@ -1,0 +1,71 @@
+#pragma once
+/// \file perf_model.hpp
+/// \brief The paper's analytic checkpoint/restart performance model:
+///        Young's optimal interval (Eq. 1), expected fault-tolerance
+///        overhead (Eqs. 4–5 traditional, Eq. 8 lossy), Theorem 1's
+///        extra-iteration budget, and Theorem 2's stationary-method bound.
+
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace lck {
+
+/// f(t, λ) = sqrt(2λt) + λt — the overhead kernel used throughout §4.
+[[nodiscard]] double overhead_kernel(double t_ckp, double lambda) noexcept;
+
+/// Young's formula (Eq. 1): optimal wall-clock interval between checkpoints,
+/// k·Tit = sqrt(2·Tf·Tckp).
+[[nodiscard]] double young_interval_seconds(double t_ckp,
+                                            double mtti_seconds) noexcept;
+
+/// Eq. (5): expected fault-tolerance overhead as a fraction of productive
+/// time, for traditional checkpointing with Trc ≈ Tckp.
+[[nodiscard]] double expected_overhead_ratio(double t_ckp,
+                                             double lambda) noexcept;
+
+/// Eq. (8): the same ratio for lossy checkpointing with checkpoint time
+/// t_ckp_lossy, N′ expected extra iterations per recovery, and iteration
+/// time t_it.
+[[nodiscard]] double expected_overhead_ratio_lossy(double t_ckp_lossy,
+                                                   double lambda,
+                                                   double n_prime,
+                                                   double t_it) noexcept;
+
+/// Theorem 1 (Eq. 9): maximum N′ for which lossy checkpointing still beats
+/// traditional checkpointing:
+///   N′ ≤ (f(T_trad, λ) − f(T_lossy, λ)) / (λ·Tit).
+[[nodiscard]] double theorem1_nprime_budget(double t_ckp_trad,
+                                            double t_ckp_lossy, double lambda,
+                                            double t_it) noexcept;
+
+/// Theorem 2: extra-iteration bound for a stationary method restarted at
+/// iteration t from a lossy checkpoint with relative error bound eb:
+///   N′(t) = t − log_R(R^t + eb).
+[[nodiscard]] double theorem2_extra_iterations_at(double spectral_radius,
+                                                  double eb, double t) noexcept;
+
+/// Theorem 2's interval for the expected bound over a uniformly random
+/// failure iteration: [N′((N+1)/2), N′(N)].
+struct StationaryBound {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] StationaryBound theorem2_expected_bound(double spectral_radius,
+                                                      double eb,
+                                                      double n_iters) noexcept;
+
+/// Theorem 3 (GMRES): adaptive pointwise-relative error bound
+/// eb = θ·||r(t)||/||b|| that keeps the post-recovery residual at the same
+/// order as the pre-failure residual (⇒ expected N′ = 0).
+[[nodiscard]] double theorem3_gmres_error_bound(double residual_norm,
+                                                double rhs_norm,
+                                                double theta = 1.0) noexcept;
+
+/// Eq. (2)/(6): expected total execution time given N productive iterations.
+/// Returns infinity if the overhead terms reach 1 (system thrashing).
+[[nodiscard]] double expected_total_seconds(double n_iters, double t_it,
+                                            double t_ckp, double lambda,
+                                            double n_prime = 0.0) noexcept;
+
+}  // namespace lck

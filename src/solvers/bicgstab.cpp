@@ -1,0 +1,96 @@
+#include "solvers/bicgstab.hpp"
+
+#include <cmath>
+
+namespace lck {
+
+BicgstabSolver::BicgstabSolver(const CsrMatrix& a, Vector b,
+                               const Preconditioner* m, SolveOptions opts)
+    : IterativeSolver(a, std::move(b), m, opts),
+      r_(b_.size(), 0.0),
+      rhat_(b_.size(), 0.0),
+      p_(b_.size(), 0.0),
+      v_(b_.size(), 0.0),
+      s_(b_.size(), 0.0),
+      t_(b_.size(), 0.0),
+      ph_(b_.size(), 0.0),
+      sh_(b_.size(), 0.0) {
+  restart(x_);
+}
+
+void BicgstabSolver::do_restart() {
+  a_.residual(b_, x_, r_);
+  copy(r_, rhat_);
+  fill(p_, 0.0);
+  fill(v_, 0.0);
+  rho_ = 1.0;
+  alpha_ = 1.0;
+  omega_ = 1.0;
+  res_norm_ = norm2(r_);
+}
+
+void BicgstabSolver::do_step() {
+  const double rho_next = dot(rhat_, r_);
+  if (rho_next == 0.0 || omega_ == 0.0 || !std::isfinite(rho_next)) {
+    do_restart();  // serious breakdown: restart from the current iterate
+    return;
+  }
+  const double beta = (rho_next / rho_) * (alpha_ / omega_);
+  rho_ = rho_next;
+  // p = r + β(p − ω·v)
+  axpy(-omega_, v_, p_);
+  xpby(r_, beta, p_);
+
+  m_->apply(p_, ph_);
+  a_.multiply(ph_, v_);
+  const double rhat_v = dot(rhat_, v_);
+  if (rhat_v == 0.0) {
+    do_restart();
+    return;
+  }
+  alpha_ = rho_ / rhat_v;
+  waxpy(r_, -alpha_, v_, s_);
+
+  const double s_norm = norm2(s_);
+  if (s_norm <= tolerance()) {
+    axpy(alpha_, ph_, x_);
+    copy(s_, r_);
+    res_norm_ = s_norm;
+    return;
+  }
+
+  m_->apply(s_, sh_);
+  a_.multiply(sh_, t_);
+  const double tt = dot(t_, t_);
+  omega_ = tt != 0.0 ? dot(t_, s_) / tt : 0.0;
+
+  axpy(alpha_, ph_, x_);
+  axpy(omega_, sh_, x_);
+  waxpy(s_, -omega_, t_, r_);
+  res_norm_ = norm2(r_);
+}
+
+std::vector<ProtectedVar> BicgstabSolver::checkpoint_vectors() {
+  return {{"x", &x_}, {"p", &p_}, {"rhat", &rhat_}, {"v", &v_}};
+}
+
+void BicgstabSolver::save_scalars(ByteWriter& out) const {
+  IterativeSolver::save_scalars(out);
+  out.put(rho_);
+  out.put(alpha_);
+  out.put(omega_);
+}
+
+void BicgstabSolver::restore_scalars(ByteReader& in) {
+  IterativeSolver::restore_scalars(in);
+  rho_ = in.get<double>();
+  alpha_ = in.get<double>();
+  omega_ = in.get<double>();
+}
+
+void BicgstabSolver::do_resume_after_restore() {
+  a_.residual(b_, x_, r_);
+  res_norm_ = norm2(r_);
+}
+
+}  // namespace lck

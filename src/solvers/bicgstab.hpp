@@ -1,0 +1,35 @@
+#pragma once
+/// \file bicgstab.hpp
+/// \brief Preconditioned BiCGSTAB (van der Vorst) — an additional
+///        nonsymmetric Krylov method beyond the paper's evaluation set,
+///        demonstrating that the lossy checkpointing scheme generalizes
+///        (paper §6 future work: "additional ... domains").
+
+#include "solvers/solver.hpp"
+
+namespace lck {
+
+class BicgstabSolver final : public IterativeSolver {
+ public:
+  BicgstabSolver(const CsrMatrix& a, Vector b,
+                 const Preconditioner* m = nullptr, SolveOptions opts = {});
+
+  [[nodiscard]] std::string name() const override { return "bicgstab"; }
+
+  /// Traditional scheme checkpoints x, p and r̂₀ (the shadow residual).
+  [[nodiscard]] std::vector<ProtectedVar> checkpoint_vectors() override;
+
+  void save_scalars(ByteWriter& out) const override;
+  void restore_scalars(ByteReader& in) override;
+  void do_resume_after_restore() override;
+
+ protected:
+  void do_restart() override;
+  void do_step() override;
+
+ private:
+  Vector r_, rhat_, p_, v_, s_, t_, ph_, sh_;
+  double rho_ = 1.0, alpha_ = 1.0, omega_ = 1.0;
+};
+
+}  // namespace lck

@@ -1,0 +1,69 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+
+namespace lck {
+
+CgSolver::CgSolver(const CsrMatrix& a, Vector b, const Preconditioner* m,
+                   SolveOptions opts)
+    : IterativeSolver(a, std::move(b), m, opts),
+      r_(b_.size(), 0.0),
+      z_(b_.size(), 0.0),
+      p_(b_.size(), 0.0),
+      q_(b_.size(), 0.0) {
+  restart(x_);
+}
+
+void CgSolver::do_restart() {
+  // Paper Algorithm 2 lines 10–13: r = b − A·x, solve M z = r, p = z,
+  // ρ = rᵀz.
+  a_.residual(b_, x_, r_);
+  m_->apply(r_, z_);
+  copy(z_, p_);
+  rho_ = dot(r_, z_);
+  res_norm_ = norm2(r_);
+}
+
+void CgSolver::do_step() {
+  // Paper Algorithm 1 lines 10–17.
+  a_.multiply(p_, q_);
+  const double pq = dot(p_, q_);
+  if (pq == 0.0 || !std::isfinite(pq)) {
+    // Breakdown (p = 0 happens only at the exact solution); re-establish
+    // the recurrence from the current iterate.
+    do_restart();
+    return;
+  }
+  const double alpha = rho_ / pq;
+  axpy(alpha, p_, x_);
+  axpy(-alpha, q_, r_);
+  m_->apply(r_, z_);
+  const double rho_next = dot(r_, z_);
+  const double beta = rho_next / rho_;
+  rho_ = rho_next;
+  xpby(z_, beta, p_);  // p = z + β·p
+  res_norm_ = norm2(r_);
+}
+
+std::vector<ProtectedVar> CgSolver::checkpoint_vectors() {
+  return {{"x", &x_}, {"p", &p_}};
+}
+
+void CgSolver::save_scalars(ByteWriter& out) const {
+  IterativeSolver::save_scalars(out);
+  out.put(rho_);
+}
+
+void CgSolver::restore_scalars(ByteReader& in) {
+  IterativeSolver::restore_scalars(in);
+  rho_ = in.get<double>();
+}
+
+void CgSolver::do_resume_after_restore() {
+  // Paper Algorithm 1 line 8: recompute r = b − A·x; z is rebuilt at the
+  // next step()'s preconditioner application, ρ and p were checkpointed.
+  a_.residual(b_, x_, r_);
+  res_norm_ = norm2(r_);
+}
+
+}  // namespace lck

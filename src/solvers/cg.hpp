@@ -1,0 +1,39 @@
+#pragma once
+/// \file cg.hpp
+/// \brief Preconditioned conjugate gradient — the paper's Algorithm 1/2.
+///
+/// Under the lossy checkpointing scheme the paper uses *restarted* CG: after
+/// a lossy recovery, restart() treats the decompressed x as a new initial
+/// guess and rebuilds the Krylov recurrences (r, z, p, ρ), restoring the
+/// superlinear convergence rate (§4.2). Under traditional/lossless
+/// checkpointing, both x and p (plus ρ) are saved, matching the paper's
+/// Algorithm 1 line 4 and the Fig. 6 discussion.
+
+#include "solvers/solver.hpp"
+
+namespace lck {
+
+class CgSolver final : public IterativeSolver {
+ public:
+  CgSolver(const CsrMatrix& a, Vector b, const Preconditioner* m = nullptr,
+           SolveOptions opts = {});
+
+  [[nodiscard]] std::string name() const override { return "cg"; }
+
+  /// Traditional scheme checkpoints x and p (paper Algorithm 1 line 4).
+  [[nodiscard]] std::vector<ProtectedVar> checkpoint_vectors() override;
+
+  void save_scalars(ByteWriter& out) const override;
+  void restore_scalars(ByteReader& in) override;
+  void do_resume_after_restore() override;
+
+ protected:
+  void do_restart() override;
+  void do_step() override;
+
+ private:
+  Vector r_, z_, p_, q_;  // r, z recomputed; p dynamic; q scratch
+  double rho_ = 0.0;      // dynamic scalar ρ = rᵀz (paper Algorithm 1)
+};
+
+}  // namespace lck

@@ -1,0 +1,30 @@
+#include "solvers/factory.hpp"
+
+namespace lck {
+
+std::unique_ptr<IterativeSolver> make_solver(const SolverSpec& spec,
+                                             const CsrMatrix& a, Vector b,
+                                             const Preconditioner* m) {
+  if (spec.method == "jacobi")
+    return std::make_unique<JacobiSolver>(a, std::move(b), spec.options);
+  if (spec.method == "gauss-seidel")
+    return std::make_unique<GaussSeidelSolver>(a, std::move(b), spec.options);
+  if (spec.method == "sor")
+    return std::make_unique<SorSolver>(a, std::move(b), spec.sor_omega,
+                                       SweepKind::kForward, spec.options);
+  if (spec.method == "ssor")
+    return std::make_unique<SsorSolver>(a, std::move(b), spec.sor_omega,
+                                        spec.options);
+  if (spec.method == "cg")
+    return std::make_unique<CgSolver>(a, std::move(b), m, spec.options);
+  if (spec.method == "gmres")
+    return std::make_unique<GmresSolver>(a, std::move(b), m,
+                                         spec.gmres_restart, spec.options);
+  if (spec.method == "minres")
+    return std::make_unique<MinresSolver>(a, std::move(b), spec.options);
+  if (spec.method == "bicgstab")
+    return std::make_unique<BicgstabSolver>(a, std::move(b), m, spec.options);
+  throw config_error("unknown solver method: " + spec.method);
+}
+
+}  // namespace lck

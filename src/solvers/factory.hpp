@@ -1,0 +1,29 @@
+#pragma once
+/// \file factory.hpp
+/// \brief Construct iterative solvers by name (mirrors PETSc's -ksp_type).
+
+#include <memory>
+#include <string>
+
+#include "solvers/bicgstab.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/gmres.hpp"
+#include "solvers/minres.hpp"
+#include "solvers/stationary.hpp"
+
+namespace lck {
+
+struct SolverSpec {
+  std::string method = "cg";  ///< jacobi | gauss-seidel | sor | ssor | cg | gmres | minres | bicgstab
+  double sor_omega = 1.2;
+  index_t gmres_restart = 30;  ///< Paper: PETSc's recommended GMRES(30).
+  SolveOptions options{};
+};
+
+/// Create a solver. `m` may be null (identity); stationary methods ignore it
+/// (their splitting *is* the preconditioner).
+[[nodiscard]] std::unique_ptr<IterativeSolver> make_solver(
+    const SolverSpec& spec, const CsrMatrix& a, Vector b,
+    const Preconditioner* m = nullptr);
+
+}  // namespace lck

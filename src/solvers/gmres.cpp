@@ -1,0 +1,125 @@
+#include "solvers/gmres.hpp"
+
+#include <cmath>
+
+namespace lck {
+
+GmresSolver::GmresSolver(const CsrMatrix& a, Vector b,
+                         const Preconditioner* m, index_t restart,
+                         SolveOptions opts)
+    : IterativeSolver(a, std::move(b), m, opts), m_restart_(restart) {
+  require(restart >= 1, "gmres: restart length must be >= 1");
+  const std::size_t n = b_.size();
+  v_.assign(static_cast<std::size_t>(m_restart_) + 1, Vector(n, 0.0));
+  h_.resize(static_cast<std::size_t>(m_restart_));
+  cs_.assign(m_restart_, 0.0);
+  sn_.assign(m_restart_, 0.0);
+  g_.assign(static_cast<std::size_t>(m_restart_) + 1, 0.0);
+  w_.assign(n, 0.0);
+  z_.assign(n, 0.0);
+  this->restart(x_);
+}
+
+void GmresSolver::begin_cycle() {
+  x_base_ = x_;
+  a_.residual(b_, x_base_, w_);
+  const double beta = norm2(w_);
+  res_norm_ = beta;
+  j_ = 0;
+  std::fill(g_.begin(), g_.end(), 0.0);
+  g_[0] = beta;
+  if (beta > 0.0) {
+    copy(w_, v_[0]);
+    scale(v_[0], 1.0 / beta);
+  } else {
+    fill(v_[0], 0.0);
+  }
+  x_current_ = true;
+}
+
+void GmresSolver::do_restart() { begin_cycle(); }
+
+void GmresSolver::do_resume_after_restore() {
+  // Traditional recovery for restarted GMRES: the Krylov basis is rebuilt
+  // from the restored iterate (only x is dynamic — paper §4.2).
+  begin_cycle();
+}
+
+void GmresSolver::do_step() {
+  if (converged_) return;
+  if (j_ == m_restart_) begin_cycle();
+
+  const std::size_t j = static_cast<std::size_t>(j_);
+  // w = A·M⁻¹·v_j  (right preconditioning).
+  m_->apply(v_[j], z_);
+  a_.multiply(z_, w_);
+
+  // Modified Gram–Schmidt.
+  auto& hcol = h_[j];
+  hcol.assign(j + 2, 0.0);
+  for (std::size_t i = 0; i <= j; ++i) {
+    hcol[i] = dot(w_, v_[i]);
+    axpy(-hcol[i], v_[i], w_);
+  }
+  const double hnorm = norm2(w_);
+  hcol[j + 1] = hnorm;
+  if (hnorm > 0.0) {
+    copy(w_, v_[j + 1]);
+    scale(v_[j + 1], 1.0 / hnorm);
+  }
+
+  // Apply accumulated Givens rotations to the new column.
+  for (std::size_t i = 0; i < j; ++i) {
+    const double t = cs_[i] * hcol[i] + sn_[i] * hcol[i + 1];
+    hcol[i + 1] = -sn_[i] * hcol[i] + cs_[i] * hcol[i + 1];
+    hcol[i] = t;
+  }
+  // New rotation annihilating h[j+1].
+  const double denom = std::hypot(hcol[j], hcol[j + 1]);
+  if (denom == 0.0) {
+    cs_[j] = 1.0;
+    sn_[j] = 0.0;
+  } else {
+    cs_[j] = hcol[j] / denom;
+    sn_[j] = hcol[j + 1] / denom;
+  }
+  hcol[j] = cs_[j] * hcol[j] + sn_[j] * hcol[j + 1];
+  hcol[j + 1] = 0.0;
+  g_[j + 1] = -sn_[j] * g_[j];
+  g_[j] = cs_[j] * g_[j];
+
+  res_norm_ = std::fabs(g_[j + 1]);
+  ++j_;
+  x_current_ = false;
+
+  // Happy breakdown (exact solution in the current subspace) or cycle end:
+  // fold the correction into x so the next step starts a fresh cycle.
+  if (hnorm == 0.0 || j_ == m_restart_ || res_norm_ <= tolerance()) {
+    materialize_solution();
+    if (hnorm == 0.0 || res_norm_ <= tolerance()) {
+      // Next begin_cycle() will recompute the true residual from x.
+      x_base_ = x_;
+    }
+  }
+}
+
+void GmresSolver::materialize_solution() {
+  if (x_current_) return;
+  const std::size_t j = static_cast<std::size_t>(j_);
+  // Back-substitution: R y = g over the j×j triangle.
+  Vector y(j, 0.0);
+  for (std::size_t i = j; i-- > 0;) {
+    double s = g_[i];
+    for (std::size_t k = i + 1; k < j; ++k) s -= h_[k][i] * y[k];
+    const double rii = h_[i][i];
+    y[i] = rii != 0.0 ? s / rii : 0.0;
+  }
+  // u = Σ y_k·v_k; x = x_base + M⁻¹·u.
+  fill(w_, 0.0);
+  for (std::size_t k = 0; k < j; ++k) axpy(y[k], v_[k], w_);
+  m_->apply(w_, z_);
+  waxpy(x_base_, 1.0, z_, x_);
+  x_current_ = true;
+}
+
+}  // namespace lck

@@ -1,0 +1,86 @@
+#include "solvers/minres.hpp"
+
+#include <cmath>
+
+namespace lck {
+
+MinresSolver::MinresSolver(const CsrMatrix& a, Vector b, SolveOptions opts)
+    : IterativeSolver(a, std::move(b), nullptr, opts),
+      v_old_(b_.size(), 0.0),
+      v_(b_.size(), 0.0),
+      v_new_(b_.size(), 0.0),
+      d_old_(b_.size(), 0.0),
+      d_(b_.size(), 0.0),
+      d_new_(b_.size(), 0.0) {
+  restart(x_);
+}
+
+void MinresSolver::do_restart() {
+  // Lanczos from r = b − A·x.
+  a_.residual(b_, x_, v_);
+  beta_ = norm2(v_);
+  res_norm_ = beta_;
+  eta_ = beta_;
+  if (beta_ > 0.0) scale(v_, 1.0 / beta_);
+  fill(v_old_, 0.0);
+  fill(d_old_, 0.0);
+  fill(d_, 0.0);
+  c_old_ = 1.0;
+  c_ = 1.0;
+  s_old_ = 0.0;
+  s_ = 0.0;
+}
+
+void MinresSolver::do_resume_after_restore() { do_restart(); }
+
+void MinresSolver::do_step() {
+  if (res_norm_ <= tolerance()) return;
+
+  // Lanczos step: v_new = A·v − α·v − β·v_old.
+  a_.multiply(v_, v_new_);
+  const double alpha = dot(v_, v_new_);
+  axpy(-alpha, v_, v_new_);
+  axpy(-beta_, v_old_, v_new_);
+  const double beta_new = norm2(v_new_);
+
+  // Apply the two previous Givens rotations to the new tridiagonal column
+  // (β_old was already rotated once when it was created).
+  const double rho3 = s_old_ * beta_;                        // row k−2
+  const double rho2 = s_ * alpha + c_old_ * c_ * beta_;      // row k−1
+  const double rho1_bar = c_ * alpha - c_old_ * s_ * beta_;  // diagonal
+
+  // New rotation annihilating β_new.
+  const double rho1 = std::hypot(rho1_bar, beta_new);
+  if (rho1 == 0.0) {
+    // Exact breakdown: the Krylov space is invariant; x is optimal.
+    res_norm_ = std::fabs(eta_);
+    return;
+  }
+  const double c_new = rho1_bar / rho1;
+  const double s_new = beta_new / rho1;
+
+  // Direction update: d_new = (v − ρ3·d_old − ρ2·d)/ρ1.
+  copy(v_, d_new_);
+  axpy(-rho3, d_old_, d_new_);
+  axpy(-rho2, d_, d_new_);
+  scale(d_new_, 1.0 / rho1);
+
+  // Solution and residual-norm recurrences.
+  axpy(c_new * eta_, d_new_, x_);
+  eta_ = -s_new * eta_;
+  res_norm_ = std::fabs(eta_);
+
+  // Shift histories.
+  std::swap(d_old_, d_);
+  std::swap(d_, d_new_);
+  std::swap(v_old_, v_);
+  std::swap(v_, v_new_);
+  if (beta_new > 0.0) scale(v_, 1.0 / beta_new);
+  beta_ = beta_new;
+  c_old_ = c_;
+  c_ = c_new;
+  s_old_ = s_;
+  s_ = s_new;
+}
+
+}  // namespace lck

@@ -1,0 +1,39 @@
+#pragma once
+/// \file minres.hpp
+/// \brief MINRES (Paige & Saunders) — minimal-residual Krylov method for
+///        symmetric *indefinite* systems.
+///
+/// Extension beyond the paper's evaluated set: the paper's Fig. 3 matrix
+/// (KKT240) is symmetric indefinite, for which MINRES is the method of
+/// choice (CG requires definiteness; GMRES ignores symmetry and pays the
+/// full orthogonalization cost). Under lossy checkpointing MINRES behaves
+/// like the other restarted Krylov methods: the only dynamic vector is x,
+/// and recovery rebuilds the Lanczos recurrence from the decompressed
+/// iterate.
+
+#include "solvers/solver.hpp"
+
+namespace lck {
+
+class MinresSolver final : public IterativeSolver {
+ public:
+  MinresSolver(const CsrMatrix& a, Vector b, SolveOptions opts = {});
+
+  [[nodiscard]] std::string name() const override { return "minres"; }
+
+  void do_resume_after_restore() override;
+
+ protected:
+  void do_restart() override;
+  void do_step() override;
+
+ private:
+  // Lanczos vectors and MINRES direction recurrences.
+  Vector v_old_, v_, v_new_;  // Lanczos basis (three-term)
+  Vector d_old_, d_, d_new_;  // solution-update directions
+  double beta_ = 0.0;         // current Lanczos off-diagonal
+  double eta_ = 0.0;          // rotated residual component
+  double c_old_ = 1.0, c_ = 1.0, s_old_ = 0.0, s_ = 0.0;  // Givens history
+};
+
+}  // namespace lck

@@ -1,0 +1,239 @@
+#include "solvers/preconditioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/partitioner.hpp"
+
+namespace lck {
+namespace {
+
+/// Locate the diagonal entry of each row; throws if any is missing or zero.
+std::vector<index_t> find_diagonals(const CsrMatrix& a) {
+  std::vector<index_t> diag(static_cast<std::size_t>(a.rows()), -1);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+      if (a.col_idx()[k] == r) {
+        diag[r] = k;
+        break;
+      }
+    require(diag[r] >= 0, "ilu0: matrix has an empty diagonal entry");
+  }
+  return diag;
+}
+
+/// Binary search for column `c` within row `r` of `a`, restricted to
+/// entries at indices [lo, hi). Returns -1 if absent.
+index_t find_in_row(const CsrMatrix& a, index_t lo, index_t hi, index_t c) {
+  const auto begin = a.col_idx().begin() + lo;
+  const auto end = a.col_idx().begin() + hi;
+  const auto it = std::lower_bound(begin, end, c);
+  if (it != end && *it == c) return lo + (it - begin);
+  return -1;
+}
+
+/// In-place ILU(0) factorization (IKJ form) of `lu` (a copy of A).
+/// After the call, lu holds L (strict lower, unit diagonal implied) and U.
+void ilu0_factor(CsrMatrix& lu, const std::vector<index_t>& diag) {
+  auto vals = lu.values_mut();
+  for (index_t i = 0; i < lu.rows(); ++i) {
+    for (index_t kk = lu.row_ptr()[i]; kk < diag[i]; ++kk) {
+      const index_t k = lu.col_idx()[kk];
+      const double ukk = vals[diag[k]];
+      require(ukk != 0.0, "ilu0: zero pivot");
+      vals[kk] /= ukk;
+      // Subtract l_ik * u_k* from the remainder of row i.
+      for (index_t jj = diag[k] + 1; jj < lu.row_ptr()[k + 1]; ++jj) {
+        const index_t j = lu.col_idx()[jj];
+        const index_t pos = find_in_row(lu, kk + 1, lu.row_ptr()[i + 1], j);
+        if (pos >= 0) vals[pos] -= vals[kk] * vals[jj];
+      }
+    }
+    require(vals[diag[i]] != 0.0, "ilu0: zero pivot on diagonal");
+  }
+}
+
+/// Solve L·U·z = r using the combined factor layout from ilu0_factor.
+void ilu0_solve(const CsrMatrix& lu, const std::vector<index_t>& diag,
+                std::span<const double> r, std::span<double> z) {
+  const index_t n = lu.rows();
+  // Forward: L y = r (unit diagonal), y stored into z.
+  for (index_t i = 0; i < n; ++i) {
+    double s = r[i];
+    for (index_t k = lu.row_ptr()[i]; k < diag[i]; ++k)
+      s -= lu.values()[k] * z[lu.col_idx()[k]];
+    z[i] = s;
+  }
+  // Backward: U z = y.
+  for (index_t i = n; i-- > 0;) {
+    double s = z[i];
+    for (index_t k = diag[i] + 1; k < lu.row_ptr()[i + 1]; ++k)
+      s -= lu.values()[k] * z[lu.col_idx()[k]];
+    z[i] = s / lu.values()[diag[i]];
+  }
+}
+
+}  // namespace
+
+// ----- Jacobi ---------------------------------------------------------------
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a)
+    : inv_diag_(a.diagonal()) {
+  for (auto& d : inv_diag_) {
+    require(d != 0.0, "jacobi preconditioner: zero diagonal");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  require(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
+          "jacobi preconditioner: size mismatch");
+  parallel_for(0, static_cast<index_t>(r.size()),
+               [&](index_t i) { z[i] = inv_diag_[i] * r[i]; });
+}
+
+// ----- ILU(0) ---------------------------------------------------------------
+
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) : lu_(a) {
+  require(a.rows() == a.cols(), "ilu0: matrix must be square");
+  diag_ptr_ = find_diagonals(lu_);
+  ilu0_factor(lu_, diag_ptr_);
+}
+
+void Ilu0Preconditioner::apply(std::span<const double> r,
+                               std::span<double> z) const {
+  ilu0_solve(lu_, diag_ptr_, r, z);
+}
+
+// ----- IC(0) ----------------------------------------------------------------
+
+Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) {
+  require(a.rows() == a.cols(), "ic0: matrix must be square");
+  const index_t n = a.rows();
+
+  // Extract the lower triangle (diagonal included).
+  CsrBuilder bld(n, n);
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+      if (a.col_idx()[k] <= r) bld.add(a.col_idx()[k], a.values()[k]);
+    bld.finish_row();
+  }
+  l_ = std::move(bld).build();
+  diag_ptr_ = find_diagonals(l_);
+
+  // IC(0): for each entry (i,j), j<=i on the pattern,
+  //   l_ij = (a_ij − Σ_{k<j} l_ik·l_jk) / l_jj,  l_ii = sqrt(a_ii − Σ l_ik²).
+  auto vals = l_.values_mut();
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t kk = l_.row_ptr()[i]; kk < l_.row_ptr()[i + 1]; ++kk) {
+      const index_t j = l_.col_idx()[kk];
+      // Sparse dot of rows i and j over columns < j.
+      double dotp = 0.0;
+      index_t pi = l_.row_ptr()[i], pj = l_.row_ptr()[j];
+      while (pi < kk && pj < diag_ptr_[j]) {
+        const index_t ci = l_.col_idx()[pi], cj = l_.col_idx()[pj];
+        if (ci == cj) {
+          dotp += vals[pi] * vals[pj];
+          ++pi;
+          ++pj;
+        } else if (ci < cj) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      if (j == i) {
+        const double v = vals[kk] - dotp;
+        // Guard against breakdown on barely-SPD matrices.
+        vals[kk] = std::sqrt(std::max(v, 1e-300));
+      } else {
+        vals[kk] = (vals[kk] - dotp) / vals[diag_ptr_[j]];
+      }
+    }
+  }
+}
+
+void Ic0Preconditioner::apply(std::span<const double> r,
+                              std::span<double> z) const {
+  const index_t n = l_.rows();
+  // Forward: L y = r.
+  for (index_t i = 0; i < n; ++i) {
+    double s = r[i];
+    for (index_t k = l_.row_ptr()[i]; k < diag_ptr_[i]; ++k)
+      s -= l_.values()[k] * z[l_.col_idx()[k]];
+    z[i] = s / l_.values()[diag_ptr_[i]];
+  }
+  // Backward: Lᵀ z = y — column-oriented sweep over L's rows in reverse.
+  for (index_t i = n; i-- > 0;) {
+    z[i] /= l_.values()[diag_ptr_[i]];
+    const double zi = z[i];
+    for (index_t k = l_.row_ptr()[i]; k < diag_ptr_[i]; ++k)
+      z[l_.col_idx()[k]] -= l_.values()[k] * zi;
+  }
+}
+
+// ----- Block Jacobi + ILU(0) -------------------------------------------------
+
+BlockJacobiPreconditioner::BlockJacobiPreconditioner(const CsrMatrix& a,
+                                                     int blocks) {
+  require(a.rows() == a.cols(), "bjacobi: matrix must be square");
+  require(blocks >= 1, "bjacobi: need at least one block");
+  blocks = static_cast<int>(
+      std::min<index_t>(blocks, std::max<index_t>(a.rows(), 1)));
+  const Partitioner part(a.rows(), blocks);
+
+  starts_.resize(static_cast<std::size_t>(blocks) + 1);
+  for (int b = 0; b <= blocks; ++b)
+    starts_[b] = b < blocks ? part.offset(b) : a.rows();
+
+  blocks_.reserve(static_cast<std::size_t>(blocks));
+  for (int b = 0; b < blocks; ++b) {
+    const index_t lo = starts_[b], hi = starts_[b + 1];
+    CsrBuilder bld(hi - lo, hi - lo);
+    for (index_t r = lo; r < hi; ++r) {
+      bool has_diag = false;
+      for (index_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+        const index_t c = a.col_idx()[k];
+        if (c >= lo && c < hi) {
+          bld.add(c - lo, a.values()[k]);
+          if (c == r) has_diag = true;
+        }
+      }
+      require(has_diag, "bjacobi: diagonal entry missing in block");
+      bld.finish_row();
+    }
+    Block blk{std::move(bld).build(), {}};
+    blk.diag_ptr = find_diagonals(blk.lu);
+    ilu0_factor(blk.lu, blk.diag_ptr);
+    blocks_.push_back(std::move(blk));
+  }
+}
+
+void BlockJacobiPreconditioner::apply(std::span<const double> r,
+                                      std::span<double> z) const {
+  const auto nb = static_cast<index_t>(blocks_.size());
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t b = 0; b < nb; ++b) {
+    const index_t lo = starts_[b];
+    const index_t len = starts_[b + 1] - lo;
+    ilu0_solve(blocks_[b].lu, blocks_[b].diag_ptr, r.subspan(lo, len),
+               z.subspan(lo, len));
+  }
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name,
+                                                    const CsrMatrix& a,
+                                                    int blocks) {
+  if (name == "none") return std::make_unique<IdentityPreconditioner>();
+  if (name == "jacobi") return std::make_unique<JacobiPreconditioner>(a);
+  if (name == "ilu0") return std::make_unique<Ilu0Preconditioner>(a);
+  if (name == "ic0") return std::make_unique<Ic0Preconditioner>(a);
+  if (name == "bjacobi")
+    return std::make_unique<BlockJacobiPreconditioner>(a, blocks);
+  throw config_error("unknown preconditioner: " + name);
+}
+
+}  // namespace lck

@@ -1,0 +1,58 @@
+#include "solvers/solver.hpp"
+
+namespace lck {
+
+IterativeSolver::IterativeSolver(const CsrMatrix& a, Vector b,
+                                 const Preconditioner* m, SolveOptions opts)
+    : a_(a), b_(std::move(b)), m_(m), opts_(opts) {
+  require(a_.rows() == a_.cols(), "solver: matrix must be square");
+  require(static_cast<index_t>(b_.size()) == a_.rows(),
+          "solver: rhs size mismatch");
+  require(opts_.max_iterations > 0, "solver: max_iterations must be positive");
+  if (m_ == nullptr) m_ = &identity_;
+  b_norm_ = norm2(b_);
+  x_.assign(b_.size(), 0.0);
+}
+
+void IterativeSolver::restart(std::span<const double> x0) {
+  require(x0.size() == b_.size(), "restart: x0 size mismatch");
+  if (x0.data() != x_.data()) x_.assign(x0.begin(), x0.end());
+  do_restart();
+  update_convergence();
+}
+
+IterationState IterativeSolver::step() {
+  do_step();
+  ++iteration_;
+  update_convergence();
+  if (opts_.record_history) history_.push_back(res_norm_);
+  return {iteration_, res_norm_, converged_};
+}
+
+const Vector& IterativeSolver::solution() {
+  materialize_solution();
+  return x_;
+}
+
+IterationState IterativeSolver::solve() {
+  IterationState st{iteration_, res_norm_, converged_};
+  while (!converged_ && iteration_ < opts_.max_iterations) st = step();
+  return st;
+}
+
+std::vector<ProtectedVar> IterativeSolver::checkpoint_vectors() {
+  materialize_solution();
+  return {{"x", &x_}};
+}
+
+void IterativeSolver::save_scalars(ByteWriter& out) const {
+  out.put(static_cast<std::int64_t>(iteration_));
+  out.put(res_norm_);
+}
+
+void IterativeSolver::restore_scalars(ByteReader& in) {
+  iteration_ = in.get<std::int64_t>();
+  res_norm_ = in.get<double>();
+}
+
+}  // namespace lck

@@ -1,0 +1,143 @@
+#pragma once
+/// \file solver.hpp
+/// \brief Base class for iterative solvers with the checkpoint/recovery
+///        hooks from the paper's variable classification (§3):
+///        static variables (A, M, b) live outside; dynamic variables are
+///        exposed for checkpointing; recomputed variables (r, z, …) are
+///        rebuilt by restart()/resume_after_restore().
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.hpp"
+#include "solvers/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace lck {
+
+/// Convergence and iteration-control options (PETSc-style).
+struct SolveOptions {
+  double rtol = 1e-6;       ///< Converged when ||r||₂ ≤ rtol·||b||₂.
+  double atol = 0.0;        ///< … or when ||r||₂ ≤ atol.
+  index_t max_iterations = 200000;
+  bool record_history = true;  ///< Keep per-iteration residual norms.
+};
+
+/// Result of one solver step.
+struct IterationState {
+  index_t iteration = 0;      ///< Total steps taken (monotonic, restarts included).
+  double residual_norm = 0.0; ///< Unpreconditioned ||b − A·x||₂ estimate.
+  bool converged = false;
+};
+
+/// A named dynamic vector that the traditional checkpointing scheme must
+/// save (paper §3's "dynamic variables").
+struct ProtectedVar {
+  std::string name;
+  Vector* data;
+};
+
+/// Common machinery for all iterative methods.
+///
+/// Lifecycle:
+///   solver.restart(x0);           // fresh start or lossy recovery (§4.2)
+///   while (!solver.converged()) solver.step();
+///
+/// Checkpoint integration:
+///  - lossy scheme: checkpoint solution() only; recover via restart(x').
+///  - traditional/lossless: checkpoint checkpoint_vectors() + scalar state
+///    via save_scalars()/restore_scalars(), then resume_after_restore().
+class IterativeSolver {
+ public:
+  IterativeSolver(const CsrMatrix& a, Vector b, const Preconditioner* m,
+                  SolveOptions opts);
+  virtual ~IterativeSolver() = default;
+
+  IterativeSolver(const IterativeSolver&) = delete;
+  IterativeSolver& operator=(const IterativeSolver&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// (Re)initialize every recurrence from initial guess `x0`. Used both for
+  /// the fresh start and for recovery from a (possibly lossy) checkpointed
+  /// solution — Algorithm 2 lines 8–13 in the paper.
+  void restart(std::span<const double> x0);
+
+  /// Perform one iteration and return the post-step state.
+  IterationState step();
+
+  /// Current approximate solution x(i). May finalize internal state
+  /// (GMRES materializes x from the Krylov basis on demand).
+  [[nodiscard]] const Vector& solution();
+
+  [[nodiscard]] double residual_norm() const noexcept { return res_norm_; }
+  [[nodiscard]] index_t iteration() const noexcept { return iteration_; }
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  [[nodiscard]] const std::vector<double>& residual_history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] const SolveOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] double rhs_norm() const noexcept { return b_norm_; }
+  [[nodiscard]] const CsrMatrix& matrix() const noexcept { return a_; }
+  [[nodiscard]] const Vector& rhs() const noexcept { return b_; }
+
+  /// Run until convergence or the iteration cap; returns final state.
+  IterationState solve();
+
+  /// Dynamic vectors the *traditional* scheme checkpoints (paper §3):
+  /// always contains x first; CG adds its direction vector p.
+  [[nodiscard]] virtual std::vector<ProtectedVar> checkpoint_vectors();
+
+  /// Serialize scalar dynamic state (iteration count, ρ, …).
+  virtual void save_scalars(ByteWriter& out) const;
+  /// Restore scalar dynamic state; pair of save_scalars().
+  virtual void restore_scalars(ByteReader& in);
+
+  /// Rebuild recomputed variables (r = b − A·x, …) after the checkpoint
+  /// vectors + scalars have been restored (traditional recovery path), and
+  /// re-evaluate convergence against the restored state.
+  void resume_after_restore() {
+    do_resume_after_restore();
+    update_convergence();
+  }
+
+  /// Roll the logical iteration counter back to a checkpointed value after
+  /// a recovery (the paper reports iterations-to-convergence from this
+  /// counter, so rollback re-execution is not double counted).
+  void set_iteration(index_t it) noexcept { iteration_ = it; }
+
+ protected:
+  /// Method-specific restart logic; x_ is already set.
+  virtual void do_restart() = 0;
+  /// Method-specific recomputed-variable rebuild for resume_after_restore().
+  virtual void do_resume_after_restore() = 0;
+  /// Method-specific single iteration; must update res_norm_.
+  virtual void do_step() = 0;
+  /// Allows GMRES to materialize x lazily; default no-op.
+  virtual void materialize_solution() {}
+
+  /// Convergence test against rtol·||b|| and atol.
+  void update_convergence() noexcept {
+    converged_ = res_norm_ <= tolerance();
+  }
+  [[nodiscard]] double tolerance() const noexcept {
+    const double rel = opts_.rtol * b_norm_;
+    return std::max(rel, opts_.atol);
+  }
+
+  const CsrMatrix& a_;
+  Vector b_;
+  const Preconditioner* m_;  ///< Never null (identity by default).
+  SolveOptions opts_;
+  IdentityPreconditioner identity_;
+
+  Vector x_;
+  double res_norm_ = 0.0;
+  double b_norm_ = 0.0;
+  index_t iteration_ = 0;
+  bool converged_ = false;
+  std::vector<double> history_;
+};
+
+}  // namespace lck

@@ -1,0 +1,60 @@
+#include "sparse/csr.hpp"
+
+#include <cmath>
+
+namespace lck {
+
+void CsrMatrix::validate() const {
+  require(rows_ >= 0 && cols_ >= 0, "csr: negative dimensions");
+  require(static_cast<index_t>(row_ptr_.size()) == rows_ + 1,
+          "csr: row_ptr size mismatch");
+  require(row_ptr_.front() == 0, "csr: row_ptr must start at 0");
+  require(row_ptr_.back() == static_cast<index_t>(col_idx_.size()),
+          "csr: row_ptr must end at nnz");
+  require(col_idx_.size() == values_.size(), "csr: col/value size mismatch");
+  for (index_t r = 0; r < rows_; ++r) {
+    require(row_ptr_[r] <= row_ptr_[r + 1], "csr: row_ptr not monotonic");
+    for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      require(col_idx_[k] >= 0 && col_idx_[k] < cols_,
+              "csr: column index out of range");
+      if (k > row_ptr_[r])
+        require(col_idx_[k - 1] < col_idx_[k], "csr: columns not ascending");
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<index_t> t_row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (const index_t c : col_idx_) ++t_row_ptr[c + 1];
+  for (index_t c = 0; c < cols_; ++c) t_row_ptr[c + 1] += t_row_ptr[c];
+
+  std::vector<index_t> t_col(col_idx_.size());
+  std::vector<double> t_val(values_.size());
+  std::vector<index_t> next(t_row_ptr.begin(), t_row_ptr.end() - 1);
+  for (index_t r = 0; r < rows_; ++r) {
+    for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const index_t c = col_idx_[k];
+      const index_t slot = next[c]++;
+      t_col[slot] = r;   // rows visited in order => columns ascend per row
+      t_val[slot] = values_[k];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col),
+                   std::move(t_val));
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  const CsrMatrix t = transpose();
+  if (t.nnz() != nnz()) return false;
+  for (index_t r = 0; r < rows_; ++r) {
+    if (t.row_ptr_[r] != row_ptr_[r]) return false;
+    for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (t.col_idx_[k] != col_idx_[k]) return false;
+      if (std::fabs(t.values_[k] - values_[k]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lck

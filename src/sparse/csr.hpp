@@ -1,0 +1,153 @@
+#pragma once
+/// \file csr.hpp
+/// \brief Compressed-sparse-row matrix with parallel SpMV and the
+///        triangular-solve kernels the preconditioners need.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace lck {
+
+/// Square or rectangular sparse matrix in CSR layout.
+///
+/// Invariants (checked by validate()):
+///  - row_ptr has rows()+1 monotonically non-decreasing entries,
+///  - col_idx values lie in [0, cols()),
+///  - row_ptr.front() == 0 and row_ptr.back() == nnz().
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  CsrMatrix(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<double> values)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    validate();
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values_.size());
+  }
+
+  [[nodiscard]] std::span<const index_t> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const index_t> col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+  [[nodiscard]] std::span<double> values_mut() noexcept { return values_; }
+
+  /// y := A·x (parallel over rows).
+  void multiply(std::span<const double> x, std::span<double> y) const {
+    require(static_cast<index_t>(x.size()) == cols_, "spmv: x size mismatch");
+    require(static_cast<index_t>(y.size()) == rows_, "spmv: y size mismatch");
+    parallel_for(0, rows_, [&](index_t r) {
+      double sum = 0.0;
+      for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        sum += values_[k] * x[col_idx_[k]];
+      y[r] = sum;
+    });
+  }
+
+  /// y := b − A·x (fused residual kernel; paper Algorithm 1 line 8).
+  void residual(std::span<const double> b, std::span<const double> x,
+                std::span<double> y) const {
+    require(static_cast<index_t>(b.size()) == rows_, "residual: b size mismatch");
+    require(static_cast<index_t>(x.size()) == cols_, "residual: x size mismatch");
+    parallel_for(0, rows_, [&](index_t r) {
+      double sum = 0.0;
+      for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        sum += values_[k] * x[col_idx_[k]];
+      y[r] = b[r] - sum;
+    });
+  }
+
+  /// Value at (r, c), 0 if not stored. O(row nnz) scan; for tests/tools.
+  [[nodiscard]] double at(index_t r, index_t c) const {
+    for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      if (col_idx_[k] == c) return values_[k];
+    return 0.0;
+  }
+
+  /// Diagonal entries (0 where the diagonal is not stored).
+  [[nodiscard]] Vector diagonal() const {
+    Vector d(static_cast<std::size_t>(rows_), 0.0);
+    parallel_for(0, rows_, [&](index_t r) {
+      for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        if (col_idx_[k] == r) {
+          d[r] = values_[k];
+          break;
+        }
+    });
+    return d;
+  }
+
+  /// Structural + numerical symmetry check (exact equality), O(nnz·log-ish).
+  [[nodiscard]] bool is_symmetric(double tol = 0.0) const;
+
+  /// Transpose (used by tests and the KKT generator).
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  void validate() const;
+
+ private:
+  index_t rows_ = 0, cols_ = 0;
+  std::vector<index_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Row-by-row CSR builder; entries within a row must be appended in
+/// ascending column order (asserted in finish_row).
+class CsrBuilder {
+ public:
+  CsrBuilder(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    row_ptr_.reserve(static_cast<std::size_t>(rows) + 1);
+    row_ptr_.push_back(0);
+  }
+
+  /// Reserve capacity for an expected number of nonzeros.
+  void reserve(index_t nnz) {
+    col_idx_.reserve(static_cast<std::size_t>(nnz));
+    values_.reserve(static_cast<std::size_t>(nnz));
+  }
+
+  /// Append an entry to the current row. Columns must be strictly ascending
+  /// within the row; zero values are kept (callers may rely on structure).
+  void add(index_t col, double value) {
+    require(col >= 0 && col < cols_, "csr builder: column out of range");
+    require(col_idx_.size() == static_cast<std::size_t>(row_ptr_.back()) ||
+                col_idx_.back() < col,
+            "csr builder: columns must be ascending within a row");
+    col_idx_.push_back(col);
+    values_.push_back(value);
+  }
+
+  /// Close the current row.
+  void finish_row() {
+    require(static_cast<index_t>(row_ptr_.size()) <= rows_,
+            "csr builder: too many rows");
+    row_ptr_.push_back(static_cast<index_t>(col_idx_.size()));
+  }
+
+  /// Finalize; all rows must have been finished.
+  [[nodiscard]] CsrMatrix build() && {
+    require(static_cast<index_t>(row_ptr_.size()) == rows_ + 1,
+            "csr builder: not all rows finished");
+    return CsrMatrix(rows_, cols_, std::move(row_ptr_), std::move(col_idx_),
+                     std::move(values_));
+  }
+
+ private:
+  index_t rows_, cols_;
+  std::vector<index_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace lck

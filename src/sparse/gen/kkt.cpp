@@ -1,0 +1,57 @@
+#include "sparse/gen/kkt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sparse/gen/poisson3d.hpp"
+
+namespace lck {
+
+CsrMatrix kkt_matrix(const KktOptions& opt) {
+  require(opt.grid_n >= 2, "kkt: grid too small");
+  const CsrMatrix h = poisson3d_spd(opt.grid_n);
+  const index_t nh = h.rows();
+  const index_t m = opt.constraints > 0 ? opt.constraints : nh / 4;
+  require(m >= 1, "kkt: need at least one constraint");
+  const index_t n = nh + m;
+
+  // Constraint Jacobian rows: each constraint couples 3 pseudo-random state
+  // variables with ±1 coefficients (a sparse incidence-like structure, as in
+  // discretized equality constraints).
+  Rng rng(opt.seed);
+  std::vector<std::map<index_t, double>> b_rows(static_cast<std::size_t>(m));
+  for (index_t c = 0; c < m; ++c) {
+    while (b_rows[c].size() < 3) {
+      const index_t j = static_cast<index_t>(rng.uniform_index(
+          static_cast<std::uint64_t>(nh)));
+      const double v = rng.uniform() < 0.5 ? 1.0 : -1.0;
+      b_rows[c].emplace(j, v);
+    }
+  }
+
+  // Bᵀ columns grouped by state row for the upper blocks.
+  std::vector<std::map<index_t, double>> bt_rows(static_cast<std::size_t>(nh));
+  for (index_t c = 0; c < m; ++c)
+    for (const auto& [j, v] : b_rows[c]) bt_rows[j].emplace(nh + c, v);
+
+  CsrBuilder bld(n, n);
+  bld.reserve(h.nnz() + 2 * 3 * m + m);
+
+  // Top block rows: [ H  Bᵀ ].
+  for (index_t r = 0; r < nh; ++r) {
+    for (index_t k = h.row_ptr()[r]; k < h.row_ptr()[r + 1]; ++k)
+      bld.add(h.col_idx()[k], h.values()[k]);
+    for (const auto& [c, v] : bt_rows[r]) bld.add(c, v);
+    bld.finish_row();
+  }
+  // Bottom block rows: [ B  −δI ].
+  for (index_t c = 0; c < m; ++c) {
+    for (const auto& [j, v] : b_rows[c]) bld.add(j, v);
+    bld.add(nh + c, -opt.regularization);
+    bld.finish_row();
+  }
+  return std::move(bld).build();
+}
+
+}  // namespace lck

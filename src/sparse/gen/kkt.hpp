@@ -1,0 +1,36 @@
+#pragma once
+/// \file kkt.hpp
+/// \brief Synthetic symmetric indefinite KKT matrix (SuiteSparse KKT240
+///        stand-in for Fig. 3).
+///
+/// The paper's Fig. 3 solves KKT240 (~28 M equations), a symmetric
+/// indefinite saddle-point system from 3-D PDE-constrained optimization
+/// [Schenk et al.]. That matrix is not redistributable here, so we generate
+/// a structurally equivalent saddle-point system
+///
+///     K = [ H  Bᵀ ]
+///         [ B  −δI ]
+///
+/// where H is the SPD 3-D Poisson stencil (the PDE Hessian block), B a
+/// sparse constraint Jacobian coupling each constraint to a few states, and
+/// δ ≥ 0 a small regularization. K is symmetric and indefinite (H ≻ 0,
+/// −δI ⪯ 0), exercising exactly the GMRES + Jacobi-preconditioner path the
+/// paper uses on KKT240.
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace lck {
+
+struct KktOptions {
+  index_t grid_n = 16;       ///< Poisson grid for the H block (H is n³×n³).
+  index_t constraints = 0;   ///< Rows of B; 0 => n³/4.
+  double regularization = 1e-2;  ///< δ in the (2,2) block.
+  std::uint64_t seed = 42;   ///< Sparsity pattern of B.
+};
+
+/// Generate the saddle-point matrix described above.
+/// Result dimension: n³ + constraints.
+[[nodiscard]] CsrMatrix kkt_matrix(const KktOptions& opt);
+
+}  // namespace lck

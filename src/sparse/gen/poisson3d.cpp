@@ -1,0 +1,87 @@
+#include "sparse/gen/poisson3d.hpp"
+
+#include <cmath>
+
+namespace lck {
+namespace {
+
+/// Shared builder for the ±7-point operator: diagonal `diag`, off entries
+/// `off` at the six stencil neighbours.
+CsrMatrix stencil7(index_t n, double diag, double off) {
+  require(n >= 1, "poisson3d: n must be >= 1");
+  const index_t n2 = n * n;
+  const index_t n3 = n2 * n;
+  CsrBuilder b(n3, n3);
+  b.reserve(7 * n3);
+  for (index_t z = 0; z < n; ++z) {
+    for (index_t y = 0; y < n; ++y) {
+      for (index_t x = 0; x < n; ++x) {
+        const index_t row = z * n2 + y * n + x;
+        if (z > 0) b.add(row - n2, off);
+        if (y > 0) b.add(row - n, off);
+        if (x > 0) b.add(row - 1, off);
+        b.add(row, diag);
+        if (x < n - 1) b.add(row + 1, off);
+        if (y < n - 1) b.add(row + n, off);
+        if (z < n - 1) b.add(row + n2, off);
+        b.finish_row();
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+CsrMatrix poisson3d(index_t n) { return stencil7(n, -6.0, 1.0); }
+
+CsrMatrix poisson3d_spd(index_t n) { return stencil7(n, 6.0, -1.0); }
+
+CsrMatrix laplacian2d(index_t n) {
+  require(n >= 1, "laplacian2d: n must be >= 1");
+  const index_t n2 = n * n;
+  CsrBuilder b(n2, n2);
+  b.reserve(5 * n2);
+  for (index_t y = 0; y < n; ++y) {
+    for (index_t x = 0; x < n; ++x) {
+      const index_t row = y * n + x;
+      if (y > 0) b.add(row - n, -1.0);
+      if (x > 0) b.add(row - 1, -1.0);
+      b.add(row, 4.0);
+      if (x < n - 1) b.add(row + 1, -1.0);
+      if (y < n - 1) b.add(row + n, -1.0);
+      b.finish_row();
+    }
+  }
+  return std::move(b).build();
+}
+
+CsrMatrix laplacian1d(index_t n) {
+  require(n >= 1, "laplacian1d: n must be >= 1");
+  CsrBuilder b(n, n);
+  b.reserve(3 * n);
+  for (index_t i = 0; i < n; ++i) {
+    if (i > 0) b.add(i - 1, -1.0);
+    b.add(i, 2.0);
+    if (i < n - 1) b.add(i + 1, -1.0);
+    b.finish_row();
+  }
+  return std::move(b).build();
+}
+
+Vector smooth_solution(index_t n) {
+  Vector x(static_cast<std::size_t>(n));
+  const double two_pi = 6.283185307179586476925286766559;
+  for (index_t i = 0; i < n; ++i)
+    x[i] = std::sin(two_pi * static_cast<double>(i) / static_cast<double>(n)) + 1.5;
+  return x;
+}
+
+Vector smooth_rhs(const CsrMatrix& a) {
+  const Vector x = smooth_solution(a.rows());
+  Vector b(static_cast<std::size_t>(a.rows()));
+  a.multiply(x, b);
+  return b;
+}
+
+}  // namespace lck

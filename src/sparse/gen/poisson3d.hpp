@@ -1,0 +1,37 @@
+#pragma once
+/// \file poisson3d.hpp
+/// \brief The paper's evaluation matrix (Eq. 15): 7-point 3-D Poisson
+///        operator with diagonal −6 and identity off-diagonal blocks, plus
+///        related stencil generators.
+
+#include "sparse/csr.hpp"
+
+namespace lck {
+
+/// Build the n³×n³ matrix of Eq. 15 in the paper:
+///   A = blocktridiag(I, M, I),  M = blocktridiag(I, T, I),
+///   T = tridiag(1, −6, 1).
+/// This is −1 times the standard 7-point Laplacian; it is symmetric and
+/// negative definite, so solvers are fed −A·x = −b when SPD is required
+/// (see poisson3d_spd()).
+[[nodiscard]] CsrMatrix poisson3d(index_t n);
+
+/// Same stencil with flipped sign: tridiag(−1, 6, −1) blocks — symmetric
+/// positive definite, suitable for CG and for building IC(0).
+[[nodiscard]] CsrMatrix poisson3d_spd(index_t n);
+
+/// 2-D 5-point Laplacian (n²×n², diagonal 4), used in tests and examples.
+[[nodiscard]] CsrMatrix laplacian2d(index_t n);
+
+/// 1-D Laplacian tridiag(−1, 2, −1), the smallest member of the family.
+[[nodiscard]] CsrMatrix laplacian1d(index_t n);
+
+/// Right-hand side the experiments use: b = A·x_true with
+/// x_true[i] = sin(2π·i/n_total) + 1.5, a smooth field representative of
+/// PDE solution data (what SZ-class compressors are designed for).
+[[nodiscard]] Vector smooth_rhs(const CsrMatrix& a);
+
+/// The smooth ground-truth solution used by smooth_rhs().
+[[nodiscard]] Vector smooth_solution(index_t n);
+
+}  // namespace lck

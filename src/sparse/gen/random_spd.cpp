@@ -1,0 +1,39 @@
+#include "sparse/gen/random_spd.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace lck {
+
+CsrMatrix random_dominant(const RandomSpdOptions& opt) {
+  require(opt.n >= 1, "random_dominant: n must be >= 1");
+  require(opt.dominance > 1.0, "random_dominant: dominance must exceed 1");
+  Rng rng(opt.seed);
+
+  std::vector<std::map<index_t, double>> rows(static_cast<std::size_t>(opt.n));
+  for (index_t r = 0; r < opt.n; ++r) {
+    for (index_t e = 0; e < opt.off_per_row; ++e) {
+      const index_t c = static_cast<index_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(opt.n)));
+      if (c == r) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      rows[r][c] = v;
+      if (opt.symmetric) rows[c][r] = v;
+    }
+  }
+  for (index_t r = 0; r < opt.n; ++r) {
+    double off_sum = 0.0;
+    for (const auto& [c, v] : rows[r]) off_sum += std::fabs(v);
+    rows[r][r] = opt.dominance * (off_sum > 0.0 ? off_sum : 1.0);
+  }
+
+  CsrBuilder b(opt.n, opt.n);
+  for (index_t r = 0; r < opt.n; ++r) {
+    for (const auto& [c, v] : rows[r]) b.add(c, v);
+    b.finish_row();
+  }
+  return std::move(b).build();
+}
+
+}  // namespace lck

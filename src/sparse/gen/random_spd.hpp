@@ -1,0 +1,22 @@
+#pragma once
+/// \file random_spd.hpp
+/// \brief Random sparse diagonally dominant matrices for tests and property
+///        sweeps (stationary-method convergence requires dominance).
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace lck {
+
+struct RandomSpdOptions {
+  index_t n = 100;            ///< Dimension.
+  index_t off_per_row = 4;    ///< Off-diagonal entries per row (approx.).
+  double dominance = 1.5;     ///< diag = dominance * (sum of |off-diag|).
+  bool symmetric = true;      ///< Symmetrize (A + Aᵀ)/2 pattern.
+  std::uint64_t seed = 7;
+};
+
+/// Random diagonally dominant matrix; symmetric ⇒ SPD by Gershgorin.
+[[nodiscard]] CsrMatrix random_dominant(const RandomSpdOptions& opt);
+
+}  // namespace lck

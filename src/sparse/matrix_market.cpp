@@ -1,0 +1,87 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace lck {
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw corrupt_stream_error("matrix market: empty stream");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix")
+    throw corrupt_stream_error("matrix market: bad banner");
+  if (format != "coordinate" || field != "real")
+    throw corrupt_stream_error("matrix market: only 'coordinate real' supported");
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general")
+    throw corrupt_stream_error("matrix market: unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  do {
+    if (!std::getline(in, line))
+      throw corrupt_stream_error("matrix market: missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  index_t rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> entries))
+      throw corrupt_stream_error("matrix market: bad size line");
+  }
+
+  std::vector<std::tuple<index_t, index_t, double>> coo;
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * entries : entries));
+  for (index_t e = 0; e < entries; ++e) {
+    index_t r = 0, c = 0;
+    double v = 0.0;
+    if (!(in >> r >> c >> v))
+      throw corrupt_stream_error("matrix market: truncated entries");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw corrupt_stream_error("matrix market: index out of range");
+    coo.emplace_back(r - 1, c - 1, v);
+    if (symmetric && r != c) coo.emplace_back(c - 1, r - 1, v);
+  }
+
+  std::sort(coo.begin(), coo.end());
+  CsrBuilder b(rows, cols);
+  b.reserve(static_cast<index_t>(coo.size()));
+  index_t current_row = 0;
+  for (const auto& [r, c, v] : coo) {
+    while (current_row < r) {
+      b.finish_row();
+      ++current_row;
+    }
+    b.add(c, v);
+  }
+  while (current_row < rows) {
+    b.finish_row();
+    ++current_row;
+  }
+  return std::move(b).build();
+}
+
+CsrMatrix load_matrix_market(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw corrupt_stream_error("matrix market: cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+      out << (r + 1) << ' ' << (a.col_idx()[k] + 1) << ' ' << a.values()[k]
+          << '\n';
+}
+
+}  // namespace lck

@@ -1,0 +1,26 @@
+#pragma once
+/// \file matrix_market.hpp
+/// \brief Minimal Matrix Market (.mtx) reader/writer so users can run the
+///        solvers and checkpointing on SuiteSparse matrices they obtain
+///        themselves (e.g. the paper's KKT240).
+///
+/// Supports `matrix coordinate real {general|symmetric}`.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace lck {
+
+/// Parse a Matrix Market stream into CSR. Symmetric files are expanded to
+/// full storage. Throws corrupt_stream_error on malformed input.
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience file loader.
+[[nodiscard]] CsrMatrix load_matrix_market(const std::string& path);
+
+/// Write a matrix in `matrix coordinate real general` format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+
+}  // namespace lck

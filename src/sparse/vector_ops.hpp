@@ -1,0 +1,85 @@
+#pragma once
+/// \file vector_ops.hpp
+/// \brief Dense vector kernels (BLAS-1 style) used by all iterative solvers.
+///
+/// All kernels are OpenMP-parallel and operate on std::vector<double> /
+/// std::span<double> so that solver code reads like the algorithm statements
+/// in the paper (Algorithm 1/2).
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace lck {
+
+using Vector = std::vector<double>;
+
+/// y := x (sizes must match).
+inline void copy(std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "copy: size mismatch");
+  parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { y[i] = x[i]; });
+}
+
+/// x := alpha.
+inline void fill(std::span<double> x, double alpha) {
+  parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { x[i] = alpha; });
+}
+
+/// y := alpha*x + y.
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  parallel_for(0, static_cast<index_t>(x.size()),
+               [&](index_t i) { y[i] += alpha * x[i]; });
+}
+
+/// y := x + beta*y  (the "xpby" update used by CG's direction recurrence).
+inline void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  require(x.size() == y.size(), "xpby: size mismatch");
+  parallel_for(0, static_cast<index_t>(x.size()),
+               [&](index_t i) { y[i] = x[i] + beta * y[i]; });
+}
+
+/// w := x + alpha*y.
+inline void waxpy(std::span<const double> x, double alpha,
+                  std::span<const double> y, std::span<double> w) {
+  require(x.size() == y.size() && x.size() == w.size(), "waxpy: size mismatch");
+  parallel_for(0, static_cast<index_t>(x.size()),
+               [&](index_t i) { w[i] = x[i] + alpha * y[i]; });
+}
+
+/// x := alpha*x.
+inline void scale(std::span<double> x, double alpha) {
+  parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { x[i] *= alpha; });
+}
+
+/// Dot product xᵀy.
+[[nodiscard]] inline double dot(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "dot: size mismatch");
+  return parallel_reduce_sum(0, static_cast<index_t>(x.size()),
+                             [&](index_t i) { return x[i] * y[i]; });
+}
+
+/// Euclidean norm ||x||₂.
+[[nodiscard]] inline double norm2(std::span<const double> x) {
+  return std::sqrt(parallel_reduce_sum(0, static_cast<index_t>(x.size()),
+                                       [&](index_t i) { return x[i] * x[i]; }));
+}
+
+/// Max norm ||x||∞.
+[[nodiscard]] inline double norm_inf(std::span<const double> x) {
+  return parallel_reduce_max(0, static_cast<index_t>(x.size()),
+                             [&](index_t i) { return std::fabs(x[i]); });
+}
+
+/// Max pointwise absolute difference ||x − y||∞.
+[[nodiscard]] inline double max_abs_diff(std::span<const double> x,
+                                         std::span<const double> y) {
+  require(x.size() == y.size(), "max_abs_diff: size mismatch");
+  return parallel_reduce_max(0, static_cast<index_t>(x.size()),
+                             [&](index_t i) { return std::fabs(x[i] - y[i]); });
+}
+
+}  // namespace lck

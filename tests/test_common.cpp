@@ -1,0 +1,259 @@
+/// Tests for the common substrate: byte/bit I/O, CRC-32, RNG, statistics,
+/// and the logical-rank partitioner.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/bit_io.hpp"
+#include "common/byte_buffer.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/partitioner.hpp"
+
+namespace lck {
+namespace {
+
+TEST(ByteBuffer, RoundTripPrimitives) {
+  ByteWriter w;
+  w.put<std::uint32_t>(0xdeadbeefu);
+  w.put<double>(3.14159);
+  w.put<std::int64_t>(-42);
+  w.put_string("hello");
+  const auto buf = std::move(w).take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, RoundTripArray) {
+  std::vector<double> xs(100);
+  std::iota(xs.begin(), xs.end(), 0.5);
+  ByteWriter w;
+  w.put_array(xs.data(), xs.size());
+  const auto buf = std::move(w).take();
+
+  ByteReader r(buf);
+  std::vector<double> ys(100);
+  r.get_array(ys.data(), ys.size());
+  EXPECT_EQ(xs, ys);
+}
+
+TEST(ByteBuffer, ReadPastEndThrows) {
+  ByteWriter w;
+  w.put<std::uint16_t>(7);
+  const auto buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.get<std::uint64_t>(), corrupt_stream_error);
+}
+
+TEST(ByteBuffer, GetBytesAdvancesAndBoundsChecks) {
+  std::vector<byte_t> data{1, 2, 3, 4, 5};
+  ByteReader r(data);
+  const auto first = r.get_bytes(3);
+  EXPECT_EQ(first[0], 1);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_THROW(r.get_bytes(3), corrupt_stream_error);
+}
+
+TEST(BitIo, RoundTripBits) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  w.write_bit(1);
+  w.write_bits(0x12345, 20);
+  const auto buf = w.finish();
+
+  BitReader r(buf);
+  EXPECT_EQ(r.read_bits(4), 0b1011u);
+  EXPECT_EQ(r.read_bit(), 1u);
+  EXPECT_EQ(r.read_bits(20), 0x12345u);
+}
+
+TEST(BitIo, UnaryCoding) {
+  BitWriter w;
+  for (unsigned v : {0u, 1u, 5u, 13u}) w.write_unary(v);
+  const auto buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.read_unary(), 0u);
+  EXPECT_EQ(r.read_unary(), 1u);
+  EXPECT_EQ(r.read_unary(), 5u);
+  EXPECT_EQ(r.read_unary(), 13u);
+}
+
+TEST(BitIo, BitCountMatchesWrites) {
+  BitWriter w;
+  w.write_bits(0, 13);
+  EXPECT_EQ(w.bit_count(), 13u);
+  const auto buf = w.finish();
+  EXPECT_EQ(buf.size(), 2u);  // padded to byte boundary
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write_bits(0xff, 8);
+  const auto buf = w.finish();
+  BitReader r(buf);
+  r.read_bits(8);
+  EXPECT_THROW(r.read_bit(), corrupt_stream_error);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE reference value).
+  const char* s = "123456789";
+  const std::uint32_t c = crc32(
+      {reinterpret_cast<const byte_t*>(s), 9});
+  EXPECT_EQ(c, 0xcbf43926u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  std::vector<byte_t> data(1000);
+  Rng rng(3);
+  for (auto& b : data) b = static_cast<byte_t>(rng());
+  Crc32 inc;
+  inc.update(std::span(data).subspan(0, 400));
+  inc.update(std::span(data).subspan(400));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<byte_t> data(64, 0xa5);
+  const auto before = crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(before, crc32(data));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a(), b());
+  Rng a2(123);
+  (void)c;
+  EXPECT_NE(a2(), Rng(124)());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  RunningStats st;
+  const double mean = 3600.0;
+  for (int i = 0; i < 200000; ++i) st.add(rng.exponential(mean));
+  EXPECT_NEAR(st.mean(), mean, mean * 0.02);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(st.stddev(), mean, mean * 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.normal(2.0, 0.5));
+  EXPECT_NEAR(st.mean(), 2.0, 0.01);
+  EXPECT_NEAR(st.stddev(), 0.5, 0.01);
+}
+
+TEST(RunningStats, WelfordMatchesDirect) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats st;
+  for (double x : xs) st.add(x);
+  EXPECT_EQ(st.count(), 5u);
+  EXPECT_DOUBLE_EQ(st.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 16.0);
+  // Direct unbiased variance.
+  double var = 0.0;
+  for (double x : xs) var += (x - 6.2) * (x - 6.2);
+  var /= 4.0;
+  EXPECT_NEAR(st.variance(), var, 1e-12);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+}
+
+TEST(ParallelFor, SumsMatchSerial) {
+  const index_t n = 100000;
+  std::vector<double> xs(n);
+  for (index_t i = 0; i < n; ++i) xs[i] = static_cast<double>(i % 97) * 0.25;
+  const double par = parallel_reduce_sum(0, n, [&](index_t i) { return xs[i]; });
+  double ser = 0.0;
+  for (const double x : xs) ser += x;
+  EXPECT_NEAR(par, ser, 1e-6);
+}
+
+TEST(ParallelFor, MaxReduction) {
+  const index_t n = 9999;
+  const double m = parallel_reduce_max(0, n, [&](index_t i) {
+    return static_cast<double>((i * 37) % 1000);
+  });
+  EXPECT_DOUBLE_EQ(m, 999.0);
+}
+
+class PartitionerTest : public ::testing::TestWithParam<std::pair<index_t, int>> {};
+
+TEST_P(PartitionerTest, CoversRangeExactly) {
+  const auto [n, ranks] = GetParam();
+  const Partitioner part(n, ranks);
+  index_t total = 0;
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(part.offset(r), total);
+    total += part.local_size(r);
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(PartitionerTest, OwnerConsistentWithOffsets) {
+  const auto [n, ranks] = GetParam();
+  const Partitioner part(n, ranks);
+  for (int r = 0; r < ranks; ++r) {
+    if (part.local_size(r) == 0) continue;
+    EXPECT_EQ(part.owner(part.offset(r)), r);
+    EXPECT_EQ(part.owner(part.offset(r) + part.local_size(r) - 1), r);
+  }
+}
+
+TEST_P(PartitionerTest, BalancedWithinOne) {
+  const auto [n, ranks] = GetParam();
+  const Partitioner part(n, ranks);
+  index_t lo = n, hi = 0;
+  for (int r = 0; r < ranks; ++r) {
+    lo = std::min(lo, part.local_size(r));
+    hi = std::max(hi, part.local_size(r));
+  }
+  EXPECT_LE(hi - lo, 1);
+  EXPECT_EQ(part.max_local_size(), hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionerTest,
+    ::testing::Values(std::pair<index_t, int>{0, 1},
+                      std::pair<index_t, int>{1, 1},
+                      std::pair<index_t, int>{10, 3},
+                      std::pair<index_t, int>{1000, 7},
+                      std::pair<index_t, int>{2160L * 2160 * 2160 % 100000, 2048},
+                      std::pair<index_t, int>{65536, 256}));
+
+TEST(Partitioner, RejectsBadArguments) {
+  EXPECT_THROW(Partitioner(-1, 4), config_error);
+  EXPECT_THROW(Partitioner(10, 0), config_error);
+}
+
+}  // namespace
+}  // namespace lck

@@ -1,0 +1,219 @@
+/// CSR matrix tests: construction invariants, SpMV, residual kernel,
+/// transpose, symmetry, and the builder's error checking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace lck {
+namespace {
+
+/// 3×3 example:  [2 1 0; 0 3 0; 4 0 5]
+CsrMatrix example3x3() {
+  CsrBuilder b(3, 3);
+  b.add(0, 2.0);
+  b.add(1, 1.0);
+  b.finish_row();
+  b.add(1, 3.0);
+  b.finish_row();
+  b.add(0, 4.0);
+  b.add(2, 5.0);
+  b.finish_row();
+  return std::move(b).build();
+}
+
+TEST(Csr, BasicAccessors) {
+  const CsrMatrix a = example3x3();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 4.0);
+}
+
+TEST(Csr, Multiply) {
+  const CsrMatrix a = example3x3();
+  const Vector x{1.0, 2.0, 3.0};
+  Vector y(3);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);   // 2·1 + 1·2
+  EXPECT_DOUBLE_EQ(y[1], 6.0);   // 3·2
+  EXPECT_DOUBLE_EQ(y[2], 19.0);  // 4·1 + 5·3
+}
+
+TEST(Csr, ResidualKernelMatchesDefinition) {
+  const CsrMatrix a = example3x3();
+  const Vector x{1.0, -1.0, 0.5};
+  const Vector b{1.0, 2.0, 3.0};
+  Vector r(3), ax(3);
+  a.residual(b, x, r);
+  a.multiply(x, ax);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(r[i], b[i] - ax[i]);
+}
+
+TEST(Csr, Diagonal) {
+  const CsrMatrix a = example3x3();
+  const Vector d = a.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const CsrMatrix a = example3x3();
+  const CsrMatrix att = a.transpose().transpose();
+  ASSERT_EQ(att.nnz(), a.nnz());
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c)
+      EXPECT_DOUBLE_EQ(att.at(r, c), a.at(r, c));
+}
+
+TEST(Csr, TransposeValuesCorrect) {
+  const CsrMatrix t = example3x3().transpose();
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 0.0);
+}
+
+TEST(Csr, SymmetryDetection) {
+  EXPECT_FALSE(example3x3().is_symmetric());
+
+  CsrBuilder b(2, 2);
+  b.add(0, 1.0);
+  b.add(1, 2.0);
+  b.finish_row();
+  b.add(0, 2.0);
+  b.add(1, 5.0);
+  b.finish_row();
+  EXPECT_TRUE(std::move(b).build().is_symmetric());
+}
+
+TEST(Csr, SymmetryWithTolerance) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1.0);
+  b.add(1, 2.0);
+  b.finish_row();
+  b.add(0, 2.0 + 1e-12);
+  b.add(1, 5.0);
+  b.finish_row();
+  const CsrMatrix a = std::move(b).build();
+  EXPECT_FALSE(a.is_symmetric(0.0));
+  EXPECT_TRUE(a.is_symmetric(1e-10));
+}
+
+TEST(Csr, RectangularMultiply) {
+  CsrBuilder b(2, 4);
+  b.add(0, 1.0);
+  b.add(3, 2.0);
+  b.finish_row();
+  b.add(1, 3.0);
+  b.finish_row();
+  const CsrMatrix a = std::move(b).build();
+  const Vector x{1.0, 1.0, 1.0, 1.0};
+  Vector y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(CsrBuilder, RejectsDescendingColumns) {
+  CsrBuilder b(1, 3);
+  b.add(2, 1.0);
+  EXPECT_THROW(b.add(1, 1.0), config_error);
+}
+
+TEST(CsrBuilder, RejectsDuplicateColumns) {
+  CsrBuilder b(1, 3);
+  b.add(1, 1.0);
+  EXPECT_THROW(b.add(1, 2.0), config_error);
+}
+
+TEST(CsrBuilder, RejectsColumnOutOfRange) {
+  CsrBuilder b(1, 3);
+  EXPECT_THROW(b.add(3, 1.0), config_error);
+  EXPECT_THROW(b.add(-1, 1.0), config_error);
+}
+
+TEST(CsrBuilder, RejectsUnfinishedRows) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1.0);
+  b.finish_row();
+  EXPECT_THROW((void)std::move(b).build(), config_error);
+}
+
+TEST(CsrBuilder, EmptyRowsAllowed) {
+  CsrBuilder b(3, 3);
+  b.finish_row();
+  b.add(1, 5.0);
+  b.finish_row();
+  b.finish_row();
+  const CsrMatrix a = std::move(b).build();
+  EXPECT_EQ(a.nnz(), 1);
+  Vector y(3);
+  a.multiply(Vector{1, 1, 1}, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(Csr, ValidateCatchesBrokenRowPtr) {
+  std::vector<index_t> row_ptr{0, 2, 1};  // non-monotonic
+  std::vector<index_t> col{0, 1};
+  std::vector<double> val{1.0, 2.0};
+  EXPECT_THROW(CsrMatrix(2, 2, row_ptr, col, val), config_error);
+}
+
+TEST(Csr, SpmvSizeMismatchThrows) {
+  const CsrMatrix a = example3x3();
+  Vector x(2), y(3);
+  EXPECT_THROW(a.multiply(x, y), config_error);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const Vector x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+}
+
+TEST(VectorOps, AxpyFamilies) {
+  Vector x{1.0, 2.0}, y{10.0, 20.0}, w(2);
+  axpy(2.0, x, y);  // y = 2x + y
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  xpby(x, 0.5, y);  // y = x + 0.5y
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 14.0);
+  waxpy(x, 3.0, y, w);  // w = x + 3y
+  EXPECT_DOUBLE_EQ(w[0], 22.0);
+  EXPECT_DOUBLE_EQ(w[1], 44.0);
+  scale(w, 0.5);
+  EXPECT_DOUBLE_EQ(w[0], 11.0);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  const Vector x{1.0, 2.0, 3.0}, y{1.5, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 1.0);
+}
+
+TEST(VectorOps, LargeParallelConsistency) {
+  Rng rng(55);
+  const index_t n = 200000;
+  Vector x(n), y(n);
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-1, 1);
+    y[i] = rng.uniform(-1, 1);
+  }
+  double serial = 0.0;
+  for (index_t i = 0; i < n; ++i) serial += x[i] * y[i];
+  EXPECT_NEAR(dot(x, y), serial, 1e-8 * n);
+}
+
+}  // namespace
+}  // namespace lck

@@ -1,0 +1,79 @@
+/// Tests for the experiment calibration helpers (paper constants, Table 3
+/// rows, local problem builders).
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace lck {
+namespace {
+
+TEST(PaperMethods, CalibrationConstants) {
+  const PaperMethod j = paper_jacobi();
+  EXPECT_EQ(j.method, "jacobi");
+  EXPECT_DOUBLE_EQ(j.rtol, 1e-4);
+  EXPECT_NEAR(j.iteration_seconds(), 3000.0 / 3941.0, 1e-9);
+  EXPECT_EQ(j.trad_vectors, 1);
+
+  const PaperMethod g = paper_gmres();
+  EXPECT_TRUE(g.adaptive_eb);
+  EXPECT_NEAR(g.iteration_seconds(), 7200.0 / 5875.0, 1e-9);
+  EXPECT_DOUBLE_EQ(g.expected_nprime, 0.0);
+
+  const PaperMethod c = paper_cg();
+  EXPECT_EQ(c.trad_vectors, 2);  // x and p (paper Algorithm 1 line 4)
+  EXPECT_DOUBLE_EQ(c.expected_nprime, 594.0);
+  EXPECT_NEAR(c.expected_nprime / c.baseline_iterations, 0.25, 0.001);
+}
+
+TEST(PaperMethods, LookupByName) {
+  EXPECT_EQ(paper_method("jacobi").method, "jacobi");
+  EXPECT_EQ(paper_method("gmres").method, "gmres");
+  EXPECT_EQ(paper_method("cg").method, "cg");
+  EXPECT_THROW(paper_method("bicgstab"), config_error);
+}
+
+TEST(Table3, GridSizesMatchPaper) {
+  EXPECT_EQ(table3_grid_n(256), 1088);
+  EXPECT_EQ(table3_grid_n(1024), 1728);
+  EXPECT_EQ(table3_grid_n(2048), 2160);
+  EXPECT_THROW(table3_grid_n(100), config_error);
+}
+
+TEST(Table3, PerProcessVectorSizeIsRoughly38MB) {
+  // The paper's weak-scaling keeps ~38.4 MB of x per process.
+  for (const int procs : {256, 512, 768, 1024, 1280, 1536, 1792, 2048}) {
+    const double per_proc = table3_vector_bytes(procs) / procs;
+    EXPECT_GT(per_proc, 36e6) << procs;
+    EXPECT_LT(per_proc, 41e6) << procs;
+  }
+}
+
+TEST(StaticBytes, ProportionalToVector) {
+  EXPECT_DOUBLE_EQ(static_state_bytes(100.0), 25.0);
+}
+
+TEST(LocalProblem, StationaryUsesPaperStencil) {
+  const LocalProblem p = make_local_problem("jacobi", 4, 1e-6);
+  EXPECT_DOUBLE_EQ(p.a.at(0, 0), -6.0);
+  EXPECT_EQ(p.precond, nullptr);
+  auto solver = p.make_solver();
+  EXPECT_TRUE(solver->solve().converged);
+}
+
+TEST(LocalProblem, KrylovUsesSpdWithBlockJacobi) {
+  const LocalProblem p = make_local_problem("cg", 4, 1e-8);
+  EXPECT_DOUBLE_EQ(p.a.at(0, 0), 6.0);
+  ASSERT_NE(p.precond, nullptr);
+  EXPECT_EQ(p.precond->name(), "bjacobi-ilu0");
+  auto solver = p.make_solver();
+  EXPECT_TRUE(solver->solve().converged);
+}
+
+TEST(LocalProblem, VectorBytesMatchesDimension) {
+  const LocalProblem p = make_local_problem("cg", 5, 1e-8);
+  EXPECT_DOUBLE_EQ(p.vector_bytes(), 125.0 * 8.0);
+}
+
+}  // namespace
+}  // namespace lck

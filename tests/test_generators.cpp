@@ -1,0 +1,226 @@
+/// Matrix generator tests: the paper's Eq. 15 operator, Laplacians, the
+/// synthetic KKT saddle-point system, random dominant matrices, and Matrix
+/// Market I/O.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sparse/gen/kkt.hpp"
+#include "sparse/gen/poisson3d.hpp"
+#include "sparse/gen/random_spd.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace lck {
+namespace {
+
+TEST(Poisson3d, MatchesPaperEquation15) {
+  // n = 2: every off-diagonal neighbour coupling is 1, diagonal −6.
+  const CsrMatrix a = poisson3d(2);
+  EXPECT_EQ(a.rows(), 8);
+  for (index_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a.at(i, i), -6.0);
+  // Vertex 0 couples to +x (1), +y (2), +z (4).
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 3), 0.0);  // diagonal neighbour: no coupling
+  EXPECT_DOUBLE_EQ(a.at(0, 7), 0.0);
+}
+
+TEST(Poisson3d, StructureCounts) {
+  const index_t n = 5;
+  const CsrMatrix a = poisson3d(n);
+  EXPECT_EQ(a.rows(), n * n * n);
+  // Interior points have 7 entries; nnz = 7n³ − 6n² (boundary deficit per axis: 2n² missing per axis).
+  EXPECT_EQ(a.nnz(), 7 * n * n * n - 6 * n * n);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(Poisson3d, SpdVariantIsNegated) {
+  const CsrMatrix a = poisson3d(3);
+  const CsrMatrix s = poisson3d_spd(3);
+  ASSERT_EQ(a.nnz(), s.nnz());
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+      EXPECT_DOUBLE_EQ(a.values()[k], -s.values()[k]);
+}
+
+TEST(Poisson3d, SpdIsPositiveDefiniteByQuadraticForm) {
+  const CsrMatrix s = poisson3d_spd(4);
+  Rng rng(9);
+  Vector x(s.rows()), sx(s.rows());
+  for (int trial = 0; trial < 10; ++trial) {
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    s.multiply(x, sx);
+    EXPECT_GT(dot(x, sx), 0.0);
+  }
+}
+
+TEST(Poisson3d, JacobiIterationMatrixContractsForSpd) {
+  // Diagonal dominance is weak (interior rows sum to 0) but with boundary
+  // the Jacobi spectral radius is < 1, so one sweep must not expand a
+  // residual by more than 1.
+  const CsrMatrix a = poisson3d(4);
+  const Vector d = a.diagonal();
+  for (const double v : d) EXPECT_DOUBLE_EQ(v, -6.0);
+}
+
+TEST(Laplacian2d, FivePointStencil) {
+  const CsrMatrix a = laplacian2d(3);
+  EXPECT_EQ(a.rows(), 9);
+  EXPECT_DOUBLE_EQ(a.at(4, 4), 4.0);   // center
+  EXPECT_DOUBLE_EQ(a.at(4, 1), -1.0);  // north
+  EXPECT_DOUBLE_EQ(a.at(4, 3), -1.0);  // west
+  EXPECT_DOUBLE_EQ(a.at(4, 5), -1.0);  // east
+  EXPECT_DOUBLE_EQ(a.at(4, 7), -1.0);  // south
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(Laplacian1d, EigenvalueSanity) {
+  // λ_min of tridiag(−1,2,−1) is 2−2cos(π/(n+1)) > 0: check with the known
+  // eigenvector v_k = sin(πk/(n+1)).
+  const index_t n = 50;
+  const CsrMatrix a = laplacian1d(n);
+  Vector v(n), av(n);
+  const double pi = 3.14159265358979323846;
+  for (index_t k = 0; k < n; ++k)
+    v[k] = std::sin(pi * static_cast<double>(k + 1) / static_cast<double>(n + 1));
+  a.multiply(v, av);
+  const double lambda = 2.0 - 2.0 * std::cos(pi / static_cast<double>(n + 1));
+  for (index_t k = 0; k < n; ++k) EXPECT_NEAR(av[k], lambda * v[k], 1e-12);
+}
+
+TEST(SmoothRhs, ConsistentWithSolution) {
+  const CsrMatrix a = poisson3d_spd(4);
+  const Vector b = smooth_rhs(a);
+  const Vector xt = smooth_solution(a.rows());
+  Vector r(b.size());
+  a.residual(b, xt, r);
+  EXPECT_LT(norm2(r), 1e-10);
+}
+
+TEST(Kkt, SymmetricSaddlePoint) {
+  KktOptions opt;
+  opt.grid_n = 4;
+  const CsrMatrix k = kkt_matrix(opt);
+  EXPECT_EQ(k.rows(), 64 + 16);
+  EXPECT_TRUE(k.is_symmetric());
+}
+
+TEST(Kkt, IndefiniteQuadraticForm) {
+  KktOptions opt;
+  opt.grid_n = 4;
+  const CsrMatrix k = kkt_matrix(opt);
+  const index_t nh = 64;
+  Vector x(k.rows(), 0.0), kx(k.rows());
+  // Direction in the H block: positive curvature.
+  x[3] = 1.0;
+  k.multiply(x, kx);
+  EXPECT_GT(dot(x, kx), 0.0);
+  // Direction in the multiplier block: negative curvature (−δ).
+  std::fill(x.begin(), x.end(), 0.0);
+  x[nh + 2] = 1.0;
+  k.multiply(x, kx);
+  EXPECT_LT(dot(x, kx), 0.0);
+}
+
+TEST(Kkt, ConstraintRowsHaveExpectedSparsity) {
+  KktOptions opt;
+  opt.grid_n = 4;
+  opt.constraints = 10;
+  const CsrMatrix k = kkt_matrix(opt);
+  // Bottom rows: 3 incidences + 1 diagonal.
+  for (index_t c = 0; c < 10; ++c) {
+    const index_t r = 64 + c;
+    EXPECT_EQ(k.row_ptr()[r + 1] - k.row_ptr()[r], 4);
+  }
+}
+
+TEST(Kkt, DeterministicForSeed) {
+  KktOptions opt;
+  opt.grid_n = 3;
+  const CsrMatrix a = kkt_matrix(opt);
+  const CsrMatrix b = kkt_matrix(opt);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(a.col_idx()[i], b.col_idx()[i]);
+    EXPECT_DOUBLE_EQ(a.values()[i], b.values()[i]);
+  }
+}
+
+TEST(RandomDominant, DiagonallyDominant) {
+  RandomSpdOptions opt;
+  opt.n = 200;
+  const CsrMatrix a = random_dominant(opt);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    double diag = 0.0, off = 0.0;
+    for (index_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      if (a.col_idx()[k] == r)
+        diag = std::fabs(a.values()[k]);
+      else
+        off += std::fabs(a.values()[k]);
+    }
+    EXPECT_GE(diag, opt.dominance * off * 0.999);
+  }
+}
+
+TEST(RandomDominant, SymmetricOption) {
+  RandomSpdOptions opt;
+  opt.n = 100;
+  opt.symmetric = true;
+  EXPECT_TRUE(random_dominant(opt).is_symmetric());
+  opt.symmetric = false;
+  opt.seed = 12;
+  // Asymmetric version is almost surely not symmetric.
+  EXPECT_FALSE(random_dominant(opt).is_symmetric());
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const CsrMatrix a = laplacian2d(4);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const CsrMatrix b = read_matrix_market(ss);
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c)
+      EXPECT_DOUBLE_EQ(b.at(r, c), a.at(r, c));
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% a comment line\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 1.0\n";
+  const CsrMatrix a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 5);  // off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::stringstream ss("%%NotMatrixMarket matrix coordinate real general\n");
+  EXPECT_THROW(read_matrix_market(ss), corrupt_stream_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 1\n"
+     << "3 1 1.0\n";
+  EXPECT_THROW(read_matrix_market(ss), corrupt_stream_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 3\n"
+     << "1 1 1.0\n";
+  EXPECT_THROW(read_matrix_market(ss), corrupt_stream_error);
+}
+
+}  // namespace
+}  // namespace lck

@@ -1,0 +1,194 @@
+/// Canonical Huffman coder tests: optimality properties, round trips over
+/// skewed and uniform distributions, table serialization.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "compress/huffman.hpp"
+
+namespace lck {
+namespace {
+
+/// Kraft sum Σ 2^-len must equal 1 for a complete prefix code (≤ 1 always).
+double kraft_sum(std::span<const std::uint8_t> lengths) {
+  double s = 0.0;
+  for (const auto l : lengths)
+    if (l > 0) s += std::ldexp(1.0, -static_cast<int>(l));
+  return s;
+}
+
+std::vector<std::uint32_t> roundtrip(std::span<const std::uint8_t> lengths,
+                                     std::span<const std::uint32_t> symbols) {
+  const HuffmanEncoder enc(lengths);
+  BitWriter bw;
+  for (const auto s : symbols) enc.encode(bw, s);
+  const auto buf = bw.finish();
+  const HuffmanDecoder dec(lengths);
+  BitReader br(buf);
+  std::vector<std::uint32_t> out;
+  out.reserve(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) out.push_back(dec.decode(br));
+  return out;
+}
+
+TEST(Huffman, LengthsSatisfyKraft) {
+  std::vector<std::uint64_t> freqs{10, 1, 1, 5, 30, 0, 2};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_NEAR(kraft_sum(lengths), 1.0, 1e-12);
+  EXPECT_EQ(lengths[5], 0);  // zero-frequency symbol gets no code
+}
+
+TEST(Huffman, MoreFrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freqs{1000, 100, 10, 1};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[3]);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freqs{0, 0, 42, 0};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(lengths[2], 1);
+  std::vector<std::uint32_t> syms(100, 2);
+  EXPECT_EQ(roundtrip(lengths, syms), syms);
+}
+
+TEST(Huffman, TwoSymbolRoundTrip) {
+  std::vector<std::uint64_t> freqs{3, 7};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 1);
+  std::vector<std::uint32_t> syms{0, 1, 1, 0, 1, 1, 1, 0};
+  EXPECT_EQ(roundtrip(lengths, syms), syms);
+}
+
+TEST(Huffman, ExtremeSkewRespectsMaxLength) {
+  // Fibonacci-like frequencies force deep optimal trees; the builder must
+  // flatten them to kHuffmanMaxBits.
+  std::vector<std::uint64_t> freqs(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const auto next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  for (const auto l : lengths) EXPECT_LE(l, kHuffmanMaxBits);
+  EXPECT_LE(kraft_sum(lengths), 1.0 + 1e-12);
+}
+
+class HuffmanDistribution
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>> {};
+
+TEST_P(HuffmanDistribution, RandomStreamRoundTrip) {
+  const auto [alphabet, skew] = GetParam();
+  Rng rng(99);
+  // Zipf-ish frequencies with the given skew.
+  std::vector<std::uint64_t> freqs(alphabet);
+  for (std::size_t s = 0; s < alphabet; ++s)
+    freqs[s] = static_cast<std::uint64_t>(
+        1000.0 / std::pow(static_cast<double>(s + 1), skew)) + 1;
+
+  // Sample a stream following those frequencies.
+  std::vector<std::uint32_t> cumulative;
+  std::uint64_t total = 0;
+  for (const auto f : freqs) {
+    total += f;
+    cumulative.push_back(static_cast<std::uint32_t>(total));
+  }
+  std::vector<std::uint32_t> stream(5000);
+  for (auto& s : stream) {
+    const auto u = rng.uniform_index(total);
+    s = static_cast<std::uint32_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u + 1) -
+        cumulative.begin());
+  }
+
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(roundtrip(lengths, stream), stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphabetsAndSkews, HuffmanDistribution,
+    ::testing::Values(std::pair<std::size_t, double>{2, 0.0},
+                      std::pair<std::size_t, double>{16, 1.0},
+                      std::pair<std::size_t, double>{256, 1.5},
+                      std::pair<std::size_t, double>{1024, 0.5},
+                      std::pair<std::size_t, double>{65536, 2.0}));
+
+TEST(Huffman, CodeLengthSerializationRoundTrip) {
+  std::vector<std::uint64_t> freqs(300, 0);
+  freqs[0] = 100;
+  freqs[7] = 50;
+  freqs[255] = 10;
+  freqs[299] = 1;
+  const auto lengths = huffman_code_lengths(freqs);
+
+  ByteWriter w;
+  write_code_lengths(w, lengths);
+  const auto buf = std::move(w).take();
+  ByteReader r(buf);
+  const auto restored = read_code_lengths(r, lengths.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(lengths.begin(), lengths.end()),
+            restored);
+}
+
+TEST(Huffman, SerializationZeroRunsAreCompact) {
+  // 65536-symbol alphabet with 3 used symbols must serialize to well under
+  // a kilobyte (zero-run coding), not 64 KiB.
+  std::vector<std::uint64_t> freqs(65536, 0);
+  freqs[1] = 5;
+  freqs[32768] = 5;
+  freqs[65535] = 2;
+  const auto lengths = huffman_code_lengths(freqs);
+  ByteWriter w;
+  write_code_lengths(w, lengths);
+  EXPECT_LT(w.size(), 64u);
+}
+
+TEST(Huffman, SerializationAlphabetMismatchThrows) {
+  std::vector<std::uint64_t> freqs{1, 2, 3};
+  const auto lengths = huffman_code_lengths(freqs);
+  ByteWriter w;
+  write_code_lengths(w, lengths);
+  const auto buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_THROW(read_code_lengths(r, 4), corrupt_stream_error);
+}
+
+TEST(Huffman, DecoderRejectsGarbage) {
+  std::vector<std::uint64_t> freqs{5, 5, 5};
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanDecoder dec(lengths);
+  // An all-ones stream longer than any valid code must eventually throw
+  // (either invalid code or bit exhaustion).
+  std::vector<byte_t> garbage(1, 0xff);
+  BitReader br(garbage);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) (void)dec.decode(br);
+      },
+      corrupt_stream_error);
+}
+
+TEST(Huffman, CompressionBeatsFixedWidthOnSkewedData) {
+  // Entropy check: heavily skewed stream should cost far fewer bits than
+  // the fixed-width encoding.
+  std::vector<std::uint64_t> freqs{9000, 500, 300, 150, 50};
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanEncoder enc(lengths);
+  BitWriter bw;
+  for (std::size_t s = 0; s < freqs.size(); ++s)
+    for (std::uint64_t i = 0; i < freqs[s]; ++i)
+      enc.encode(bw, static_cast<std::uint32_t>(s));
+  const double fixed_bits = 10000.0 * 3;  // 5 symbols => 3 bits fixed
+  EXPECT_LT(static_cast<double>(bw.bit_count()), 0.6 * fixed_bits);
+}
+
+}  // namespace
+}  // namespace lck

@@ -1,0 +1,185 @@
+/// Tests for the two extensions beyond the paper's evaluated set:
+/// MINRES (symmetric indefinite solver, the natural method for the paper's
+/// KKT240-class systems) and the mantissa-truncation lossy compressor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "compress/truncation.hpp"
+#include "solvers/factory.hpp"
+#include "solvers/minres.hpp"
+#include "sparse/gen/kkt.hpp"
+#include "sparse/gen/poisson3d.hpp"
+
+namespace lck {
+namespace {
+
+double true_rel_residual(const CsrMatrix& a, const Vector& b, const Vector& x) {
+  Vector r(b.size());
+  a.residual(b, x, r);
+  return norm2(r) / norm2(b);
+}
+
+// ----- MINRES ----------------------------------------------------------------
+
+TEST(Minres, SolvesSpdSystem) {
+  const CsrMatrix a = poisson3d_spd(6);
+  const Vector xt = smooth_solution(a.rows());
+  Vector b(a.rows());
+  a.multiply(xt, b);
+  MinresSolver s(a, b, {.rtol = 1e-10, .max_iterations = 5000});
+  EXPECT_TRUE(s.solve().converged);
+  EXPECT_LT(max_abs_diff(s.solution(), xt), 1e-6);
+}
+
+TEST(Minres, SolvesSymmetricIndefiniteKkt) {
+  // The system CG cannot handle and GMRES over-pays for (paper Fig. 3).
+  KktOptions opt;
+  opt.grid_n = 5;
+  const CsrMatrix k = kkt_matrix(opt);
+  const Vector b(k.rows(), 1.0);
+  MinresSolver s(k, b, {.rtol = 1e-8, .max_iterations = 20000});
+  EXPECT_TRUE(s.solve().converged);
+  EXPECT_LE(true_rel_residual(k, b, s.solution()), 1e-7);
+}
+
+TEST(Minres, RecurrenceResidualMatchesTrueResidual) {
+  const CsrMatrix a = poisson3d_spd(5);
+  const Vector b = smooth_rhs(a);
+  MinresSolver s(a, b, {.rtol = 1e-12, .max_iterations = 5000});
+  for (int i = 0; i < 30; ++i) {
+    s.step();
+    const double truth = true_rel_residual(a, b, s.solution()) * norm2(b);
+    ASSERT_NEAR(s.residual_norm(), truth, 1e-8 * norm2(b))
+        << "iteration " << i;
+  }
+}
+
+TEST(Minres, ResidualNormIsMonotone) {
+  // MINRES minimizes ||r|| over the Krylov space: monotone non-increasing.
+  KktOptions opt;
+  opt.grid_n = 4;
+  const CsrMatrix k = kkt_matrix(opt);
+  const Vector b(k.rows(), 1.0);
+  MinresSolver s(k, b, {.rtol = 1e-10, .max_iterations = 5000});
+  double prev = s.residual_norm();
+  while (!s.converged() && s.iteration() < 5000) {
+    s.step();
+    ASSERT_LE(s.residual_norm(), prev * (1.0 + 1e-10));
+    prev = s.residual_norm();
+  }
+  EXPECT_TRUE(s.converged());
+}
+
+TEST(Minres, LossyRestartConverges) {
+  // The lossy checkpointing path: restart from a perturbed iterate.
+  const CsrMatrix a = poisson3d_spd(6);
+  const Vector b = smooth_rhs(a);
+  MinresSolver s(a, b, {.rtol = 1e-9, .max_iterations = 10000});
+  for (int i = 0; i < 20; ++i) s.step();
+  Vector x = s.solution();
+  Rng rng(3);
+  for (auto& v : x) v *= 1.0 + 1e-4 * (rng.uniform() - 0.5);
+  s.restart(x);
+  EXPECT_TRUE(s.solve().converged);
+  EXPECT_LE(true_rel_residual(a, b, s.solution()), 1e-8);
+}
+
+TEST(Minres, AvailableViaFactory) {
+  const CsrMatrix a = poisson3d_spd(4);
+  const Vector b = smooth_rhs(a);
+  SolverSpec spec;
+  spec.method = "minres";
+  spec.options.rtol = 1e-8;
+  auto s = make_solver(spec, a, b);
+  EXPECT_EQ(s->name(), "minres");
+  EXPECT_TRUE(s->solve().converged);
+}
+
+// ----- truncation compressor ---------------------------------------------------
+
+class TruncAbsBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncAbsBound, BoundHoldsOnMixedData) {
+  const double eb = GetParam();
+  TruncationCompressor c(ErrorBound::absolute(eb));
+  Rng rng(9);
+  Vector in(20000);
+  for (auto& x : in) x = rng.uniform(-100.0, 100.0);
+  in[3] = 0.0;
+  in[7] = 1e-300;
+  const auto stream = c.compress(in);
+  Vector out(in.size());
+  c.decompress(stream, out);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), eb) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, TruncAbsBound,
+                         ::testing::Values(1e-1, 1e-4, 1e-8, 1e-13));
+
+TEST(Trunc, GroomingMakesDataMoreCompressible) {
+  Rng rng(4);
+  Vector in(30000);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = std::sin(0.001 * static_cast<double>(i)) + 1e-9 * rng.uniform();
+  TruncationCompressor loose(ErrorBound::absolute(1e-3));
+  TruncationCompressor tight(ErrorBound::absolute(1e-12));
+  EXPECT_GT(compression_ratio(loose, in), compression_ratio(tight, in));
+  EXPECT_GT(compression_ratio(loose, in), 3.0);
+}
+
+TEST(Trunc, NonFiniteValuesPassThrough) {
+  TruncationCompressor c(ErrorBound::absolute(1e-4));
+  Vector in(16, 1.5);
+  in[2] = std::numeric_limits<double>::infinity();
+  in[5] = std::numeric_limits<double>::quiet_NaN();
+  const auto stream = c.compress(in);
+  Vector out(in.size());
+  c.decompress(stream, out);
+  EXPECT_TRUE(std::isinf(out[2]));
+  EXPECT_TRUE(std::isnan(out[5]));
+}
+
+TEST(Trunc, PointwiseRelativeViaAdapterFactory) {
+  const auto c = make_compressor("trunc", ErrorBound::pointwise_rel(1e-4));
+  EXPECT_EQ(c->name(), "pwrel+trunc");
+  Rng rng(21);
+  Vector in(5000);
+  for (auto& x : in)
+    x = (rng.uniform() < 0.5 ? -1.0 : 1.0) *
+        std::pow(10.0, rng.uniform(-6.0, 6.0));
+  const auto stream = c->compress(in);
+  Vector out(in.size());
+  c->decompress(stream, out);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), 1e-4 * std::fabs(in[i]) + 1e-300);
+}
+
+TEST(Trunc, ValueRangeRelativeMode) {
+  TruncationCompressor c(ErrorBound::value_range_rel(1e-5));
+  Vector in(1000);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = 500.0 * std::sin(0.01 * static_cast<double>(i));
+  const auto stream = c.compress(in);
+  Vector out(in.size());
+  c.decompress(stream, out);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), 1e-5 * 1000.0 * 1.01);
+}
+
+TEST(Trunc, WorksAsCheckpointCompressor) {
+  // Integration: use trunc inside the checkpoint manager.
+  const auto c = make_compressor("trunc", ErrorBound::absolute(1e-6));
+  EXPECT_TRUE(c->lossy());
+  const Vector in(100, 3.14159);
+  const auto stream = c->compress(in);
+  Vector out(100);
+  c->decompress(stream, out);
+  for (const double v : out) EXPECT_NEAR(v, 3.14159, 1e-6);
+}
+
+}  // namespace
+}  // namespace lck

@@ -1,0 +1,146 @@
+/// Performance-model tests: Eqs. 1, 4–5, 8–9 and Theorems 1–3, including
+/// the paper's own worked numerical example (§4.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/perf_model.hpp"
+
+namespace lck {
+namespace {
+
+TEST(Young, KnownValues) {
+  // Tf = 3600 s, Tckp = 120 s ⇒ interval = sqrt(2·3600·120) ≈ 929.5 s.
+  EXPECT_NEAR(young_interval_seconds(120.0, 3600.0), 929.5, 0.1);
+  // The paper's §3 example: 18 s checkpoints, 4 h MTTI ⇒ ~5 per hour.
+  const double interval = young_interval_seconds(18.0, 4.0 * 3600.0);
+  EXPECT_NEAR(3600.0 / interval, 5.0, 0.5);
+}
+
+TEST(Young, PaperOptimalIntervals) {
+  // §5.4: MTTI = 1 h with Tckp ≈ 120 / 70 / 25 s gives ≈ 16 / 12 / 7 min.
+  EXPECT_NEAR(young_interval_seconds(120.0, 3600.0) / 60.0, 16.0, 1.0);
+  EXPECT_NEAR(young_interval_seconds(70.0, 3600.0) / 60.0, 12.0, 1.0);
+  EXPECT_NEAR(young_interval_seconds(25.0, 3600.0) / 60.0, 7.0, 0.5);
+}
+
+TEST(OverheadKernel, Definition) {
+  const double lambda = 1.0 / 3600.0;
+  const double t = 120.0;
+  EXPECT_NEAR(overhead_kernel(t, lambda),
+              std::sqrt(2.0 * lambda * t) + lambda * t, 1e-15);
+  EXPECT_DOUBLE_EQ(overhead_kernel(0.0, lambda), 0.0);
+}
+
+TEST(ExpectedOverhead, Figure1Shape) {
+  // Fig. 1: overhead ≈ 40% at Tckp = 120 s, hourly MTTI; grows with both λ
+  // and Tckp.
+  const double hourly = 1.0 / 3600.0;
+  const double at_120 = expected_overhead_ratio(120.0, hourly);
+  EXPECT_GT(at_120, 0.30);
+  EXPECT_LT(at_120, 0.50);
+
+  EXPECT_LT(expected_overhead_ratio(25.0, hourly), at_120);
+  EXPECT_GT(expected_overhead_ratio(120.0, 2.0 * hourly), at_120);
+  EXPECT_DOUBLE_EQ(expected_overhead_ratio(0.0, hourly), 0.0);
+}
+
+TEST(ExpectedOverhead, DivergesAtSaturation) {
+  // When overhead terms reach 1 the model returns infinity (thrashing).
+  EXPECT_TRUE(std::isinf(expected_overhead_ratio(1e9, 1.0)));
+}
+
+TEST(ExpectedOverheadLossy, ReducesToTraditionalWhenNPrimeZero) {
+  const double lambda = 1.0 / 3600.0;
+  EXPECT_DOUBLE_EQ(expected_overhead_ratio_lossy(25.0, lambda, 0.0, 1.2),
+                   expected_overhead_ratio(25.0, lambda));
+}
+
+TEST(ExpectedOverheadLossy, MonotonicInNPrime) {
+  const double lambda = 1.0 / 3600.0;
+  double prev = 0.0;
+  for (const double np : {0.0, 100.0, 500.0, 1000.0}) {
+    const double o = expected_overhead_ratio_lossy(25.0, lambda, np, 1.2);
+    EXPECT_GT(o, prev - 1e-15);
+    prev = o;
+  }
+}
+
+TEST(Theorem1, PaperWorkedExample) {
+  // §4.3: Tckp 120 → 25 s, MTTI 1 h, GMRES 5,875 iterations in 7,160 s
+  // (Tit ≈ 1.22 s) ⇒ the budget is about 500 extra iterations.
+  const double lambda = 1.0 / 3600.0;
+  const double t_it = 7160.0 / 5875.0;
+  const double budget = theorem1_nprime_budget(120.0, 25.0, lambda, t_it);
+  EXPECT_NEAR(budget, 500.0, 60.0);
+}
+
+TEST(Theorem1, BudgetIsConsistentWithOverheadCrossover) {
+  // At N' slightly under the budget, lossy wins; slightly over, it loses.
+  const double lambda = 1.0 / 3600.0;
+  const double t_it = 1.2;
+  const double t_trad = 120.0, t_lossy = 25.0;
+  const double budget = theorem1_nprime_budget(t_trad, t_lossy, lambda, t_it);
+  const double trad = expected_overhead_ratio(t_trad, lambda);
+  EXPECT_LT(
+      expected_overhead_ratio_lossy(t_lossy, lambda, budget * 0.99, t_it),
+      trad);
+  EXPECT_GT(
+      expected_overhead_ratio_lossy(t_lossy, lambda, budget * 1.01, t_it),
+      trad);
+}
+
+TEST(Theorem1, NoBudgetWhenLossyCheckpointIsSlower) {
+  const double lambda = 1.0 / 3600.0;
+  EXPECT_LT(theorem1_nprime_budget(25.0, 120.0, lambda, 1.2), 0.0);
+}
+
+TEST(Theorem2, ZeroErrorMeansZeroExtraIterations) {
+  EXPECT_NEAR(theorem2_extra_iterations_at(0.99998, 0.0, 2000.0), 0.0, 1e-9);
+}
+
+TEST(Theorem2, PaperJacobiExpectation) {
+  // §5.3: R ≈ 0.99998, N = 3941, eb = 1e-4 ⇒ expected N' ≈ 6 (the paper's
+  // quoted value lies inside the Theorem 2 interval).
+  const StationaryBound b = theorem2_expected_bound(0.99998, 1e-4, 3941.0);
+  EXPECT_GT(b.hi, b.lo);
+  EXPECT_GE(b.lo, 0.0);
+  EXPECT_LT(b.lo, 6.5);
+  EXPECT_GT(b.hi, 5.0);
+  EXPECT_LT(b.hi, 4000.0);
+}
+
+TEST(Theorem2, MonotonicInErrorBound) {
+  double prev = -1.0;
+  for (const double eb : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    const double np = theorem2_extra_iterations_at(0.9999, eb, 2000.0);
+    EXPECT_GT(np, prev);
+    prev = np;
+  }
+}
+
+TEST(Theorem2, LaterRestartCostsMoreIterations) {
+  // R^t shrinks with t so a fixed absolute perturbation hurts more later.
+  const double r = 0.999, eb = 1e-4;
+  EXPECT_LT(theorem2_extra_iterations_at(r, eb, 100.0),
+            theorem2_extra_iterations_at(r, eb, 5000.0));
+}
+
+TEST(Theorem3, BoundTracksResidual) {
+  EXPECT_DOUBLE_EQ(theorem3_gmres_error_bound(1e-3, 1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(theorem3_gmres_error_bound(5.0, 10.0, 0.5), 0.1);  // clamped
+  EXPECT_DOUBLE_EQ(theorem3_gmres_error_bound(0.0, 1.0), 1e-15);      // floor
+  EXPECT_DOUBLE_EQ(theorem3_gmres_error_bound(1.0, 0.0), 1e-12);      // guard
+}
+
+TEST(ExpectedTotal, MatchesOverheadDecomposition) {
+  const double lambda = 1.0 / 3600.0;
+  const double n = 5875.0, t_it = 1.22, t_ckp = 25.0;
+  const double total = expected_total_seconds(n, t_it, t_ckp, lambda, 0.0);
+  const double overhead = expected_overhead_ratio(t_ckp, lambda);
+  EXPECT_NEAR(total, n * t_it * (1.0 + overhead), 1e-6 * total);
+}
+
+}  // namespace
+}  // namespace lck

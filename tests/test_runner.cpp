@@ -1,0 +1,250 @@
+/// Integration tests for the resilient runner: failure-free equivalence,
+/// convergence under failure injection for all three schemes, virtual-time
+/// accounting, and the adaptive GMRES bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/resilient_runner.hpp"
+
+namespace lck {
+namespace {
+
+ResilienceConfig base_config(CkptScheme scheme) {
+  ResilienceConfig cfg;
+  cfg.scheme = scheme;
+  cfg.ckpt_interval_seconds = 20.0;
+  cfg.mtti_seconds = 60.0;  // aggressive failures for test coverage
+  cfg.iteration_seconds = 5.0;  // short local solves still span many MTTIs
+  cfg.seed = 7;
+  cfg.dynamic_scale = 1.0;
+  cfg.cluster.ranks = 64;
+  cfg.cluster.pfs_per_rank_overhead = 0.001;
+  cfg.static_bytes = 1e6;
+  return cfg;
+}
+
+double true_rel_residual(const CsrMatrix& a, const Vector& b,
+                         const Vector& x) {
+  Vector r(b.size());
+  a.residual(b, x, r);
+  return norm2(r) / norm2(b);
+}
+
+TEST(Runner, FailureFreeRunMatchesPlainSolve) {
+  const LocalProblem p = make_local_problem("cg", 8, 1e-8);
+  auto plain = p.make_solver();
+  plain->solve();
+
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kLossy);
+  cfg.inject_failures = false;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.convergence_iteration, plain->iteration());
+  EXPECT_EQ(res.failures, 0);
+  EXPECT_EQ(res.recoveries, 0);
+  // Virtual time = iterations + checkpoint costs only.
+  EXPECT_GE(res.virtual_seconds,
+            static_cast<double>(res.executed_steps) * cfg.iteration_seconds);
+}
+
+class RunnerScheme : public ::testing::TestWithParam<CkptScheme> {};
+
+TEST_P(RunnerScheme, ConvergesUnderFailures) {
+  const CkptScheme scheme = GetParam();
+  const LocalProblem p = make_local_problem("cg", 8, 1e-8);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(scheme);
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+
+  EXPECT_TRUE(res.converged) << to_string(scheme);
+  EXPECT_GT(res.failures, 0) << "test should exercise failures";
+  EXPECT_EQ(res.recoveries, res.failures - (res.failures - res.recoveries));
+  EXPECT_LE(true_rel_residual(p.a, p.b, solver->solution()), 1e-7)
+      << to_string(scheme);
+}
+
+TEST_P(RunnerScheme, JacobiConvergesUnderFailures) {
+  const CkptScheme scheme = GetParam();
+  const LocalProblem p = make_local_problem("jacobi", 7, 1e-6);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(scheme);
+  cfg.seed = 11;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  EXPECT_TRUE(res.converged) << to_string(scheme);
+  EXPECT_LE(true_rel_residual(p.a, p.b, solver->solution()), 1.2e-6);
+}
+
+TEST_P(RunnerScheme, GmresConvergesUnderFailures) {
+  const CkptScheme scheme = GetParam();
+  const LocalProblem p = make_local_problem("gmres", 7, 1e-7);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(scheme);
+  cfg.adaptive_error_bound = scheme == CkptScheme::kLossy;
+  cfg.seed = 13;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  EXPECT_TRUE(res.converged) << to_string(scheme);
+  EXPECT_LE(true_rel_residual(p.a, p.b, solver->solution()), 1.2e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, RunnerScheme,
+                         ::testing::Values(CkptScheme::kTraditional,
+                                           CkptScheme::kLossless,
+                                           CkptScheme::kLossy),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Runner, TraditionalRecoveryIsIterationExactForCg) {
+  // With exact state restoration, the convergence iteration equals the
+  // failure-free count regardless of how many failures struck.
+  const LocalProblem p = make_local_problem("cg", 8, 1e-8);
+  auto baseline = p.make_solver();
+  baseline->solve();
+
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kTraditional);
+  cfg.seed = 17;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  ASSERT_GT(res.failures, 0);
+  EXPECT_EQ(res.convergence_iteration, baseline->iteration());
+}
+
+TEST(Runner, LossyRecoveryMayDelayCgButConverges) {
+  const LocalProblem p = make_local_problem("cg", 8, 1e-8);
+  auto baseline = p.make_solver();
+  baseline->solve();
+
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kLossy);
+  cfg.lossy_eb = ErrorBound::pointwise_rel(1e-4);
+  cfg.seed = 17;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  ASSERT_GT(res.recoveries, 0);
+  EXPECT_TRUE(res.converged);
+  // Lossy restarts can only add iterations relative to the baseline.
+  EXPECT_GE(res.convergence_iteration, baseline->iteration());
+  // ... but not pathologically many (paper: 10–25% per recovery).
+  EXPECT_LE(res.convergence_iteration,
+            baseline->iteration() * 3 + 50 * res.recoveries);
+}
+
+TEST(Runner, LossyCheckpointsAreSmallerThanTraditional) {
+  const LocalProblem p = make_local_problem("cg", 8, 1e-8);
+
+  auto s1 = p.make_solver();
+  ResilienceConfig c1 = base_config(CkptScheme::kTraditional);
+  c1.inject_failures = false;
+  const auto r1 = ResilientRunner(*s1, c1).run();
+
+  auto s2 = p.make_solver();
+  ResilienceConfig c2 = base_config(CkptScheme::kLossy);
+  c2.inject_failures = false;
+  const auto r2 = ResilientRunner(*s2, c2).run();
+
+  ASSERT_GT(r1.checkpoints, 0);
+  ASSERT_GT(r2.checkpoints, 0);
+  EXPECT_LT(r2.mean_ckpt_stored_bytes, r1.mean_ckpt_stored_bytes / 2.0);
+  EXPECT_GT(r2.compression_ratio, 2.0);
+  EXPECT_LT(r2.mean_ckpt_seconds, r1.mean_ckpt_seconds);
+}
+
+TEST(Runner, CheckpointIntervalIsHonoured) {
+  const LocalProblem p = make_local_problem("jacobi", 6, 1e-8);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kTraditional);
+  cfg.inject_failures = false;
+  cfg.ckpt_interval_seconds = 50.0;
+  cfg.iteration_seconds = 1.0;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  // Expected checkpoints ≈ productive time / (interval + ckpt cost).
+  const double productive = static_cast<double>(res.executed_steps);
+  EXPECT_LE(res.checkpoints, static_cast<int>(productive / 50.0) + 1);
+  EXPECT_GE(res.checkpoints, static_cast<int>(productive / 50.0) - 2);
+}
+
+TEST(Runner, VirtualTimeDecomposes) {
+  const LocalProblem p = make_local_problem("cg", 8, 1e-8);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kLossy);
+  cfg.inject_failures = false;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  const double expected = static_cast<double>(res.executed_steps) *
+                              cfg.iteration_seconds +
+                          res.ckpt_seconds_total + res.recovery_seconds_total;
+  EXPECT_NEAR(res.virtual_seconds, expected, 1e-9);
+}
+
+TEST(Runner, FailureBeforeFirstCheckpointRestartsFromScratch) {
+  const LocalProblem p = make_local_problem("jacobi", 6, 1e-8);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kLossy);
+  cfg.ckpt_interval_seconds = 1e9;  // never checkpoint
+  cfg.mtti_seconds = 600.0;
+  cfg.seed = 23;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.checkpoints, 0);
+  EXPECT_GT(res.failures, 0);
+  // Every failure forced a from-scratch restart; executed steps exceed the
+  // convergence iteration count.
+  EXPECT_GT(res.executed_steps, res.convergence_iteration);
+}
+
+TEST(Runner, AdaptiveBoundTightensWithConvergence) {
+  // Indirect check: with the adaptive bound the achieved compression ratio
+  // should drop as the solver converges (tighter eb near convergence), yet
+  // the run must stay correct.
+  const LocalProblem p = make_local_problem("gmres", 7, 1e-8);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kLossy);
+  cfg.adaptive_error_bound = true;
+  cfg.inject_failures = false;
+  cfg.ckpt_interval_seconds = 10.0;
+  ResilientRunner runner(*solver, cfg);
+  const auto res = runner.run();
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.checkpoints, 1);
+}
+
+TEST(Runner, RejectsBadConfiguration) {
+  const LocalProblem p = make_local_problem("cg", 4, 1e-6);
+  auto solver = p.make_solver();
+  ResilienceConfig cfg = base_config(CkptScheme::kLossy);
+  cfg.ckpt_interval_seconds = 0.0;
+  EXPECT_THROW(ResilientRunner(*solver, cfg), config_error);
+  cfg = base_config(CkptScheme::kLossy);
+  cfg.iteration_seconds = -1.0;
+  EXPECT_THROW(ResilientRunner(*solver, cfg), config_error);
+}
+
+TEST(Runner, DeterministicForFixedSeed) {
+  const LocalProblem p = make_local_problem("cg", 7, 1e-8);
+  ResilienceConfig cfg = base_config(CkptScheme::kLossy);
+  cfg.seed = 31;
+
+  auto s1 = p.make_solver();
+  const auto r1 = ResilientRunner(*s1, cfg).run();
+  auto s2 = p.make_solver();
+  const auto r2 = ResilientRunner(*s2, cfg).run();
+
+  EXPECT_EQ(r1.failures, r2.failures);
+  EXPECT_EQ(r1.executed_steps, r2.executed_steps);
+  EXPECT_DOUBLE_EQ(r1.virtual_seconds, r2.virtual_seconds);
+}
+
+}  // namespace
+}  // namespace lck

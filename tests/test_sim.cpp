@@ -1,0 +1,94 @@
+/// Simulation-layer tests: cluster I/O model, failure injector statistics.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sim/cluster_model.hpp"
+#include "sim/failure.hpp"
+
+namespace lck {
+namespace {
+
+TEST(ClusterModel, CalibrationMatchesPaperCheckpointTime) {
+  // Paper §4.1: a 78.8 GB traditional checkpoint takes ~120 s on 2,048
+  // cores. The default model must land in that neighbourhood.
+  const ClusterModel m;
+  const double t = m.write_seconds(78.8e9);
+  EXPECT_GT(t, 100.0);
+  EXPECT_LT(t, 140.0);
+}
+
+TEST(ClusterModel, CompressionIsNearlyFreeAtScale) {
+  // Paper §5.3: compressing 78.8 GB takes ~0.5 s, decompressing ~0.2 s.
+  const ClusterModel m;
+  EXPECT_NEAR(m.compress_seconds(78.8e9), 0.5, 0.2);
+  EXPECT_NEAR(m.decompress_seconds(78.8e9), 0.25, 0.15);
+}
+
+TEST(ClusterModel, TimesGrowWithRanksAtFixedPerRankData) {
+  // Weak scaling: per-rank 38.4 MB, PFS bandwidth shared ⇒ time grows.
+  const ClusterModel base;
+  double prev = 0.0;
+  for (const int ranks : {256, 512, 1024, 2048}) {
+    const ClusterModel m = base.with_ranks(ranks);
+    const double bytes = 38.4e6 * ranks;
+    const double t = m.write_seconds(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ClusterModel, SmallCheckpointsStillPayPerRankOverhead) {
+  const ClusterModel m;  // 2,048 ranks
+  // A 2.4 GB lossy checkpoint: dominated by per-rank overhead, in the
+  // paper's ~20–30 s range, far above the pure-bandwidth time.
+  const double t = m.write_seconds(2.4e9);
+  EXPECT_GT(t, 15.0);
+  EXPECT_LT(t, 40.0);
+}
+
+TEST(ClusterModel, LosslessCompressionIsSlowerThanSz) {
+  const ClusterModel m;
+  EXPECT_GT(m.lossless_compress_seconds(78.8e9), m.compress_seconds(78.8e9));
+}
+
+TEST(FailureInjector, DisabledNeverFires) {
+  FailureInjector inj(3600.0, 1, false);
+  EXPECT_FALSE(inj.interrupts(0.0, 1e12));
+}
+
+TEST(FailureInjector, MeanInterArrivalMatchesMtti) {
+  const double mtti = 3600.0;
+  FailureInjector inj(mtti, 42);
+  RunningStats st;
+  double now = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double dt = inj.next_failure_time() - now;
+    st.add(dt);
+    now = inj.next_failure_time();
+    inj.arm(now);
+  }
+  EXPECT_NEAR(st.mean(), mtti, mtti * 0.02);
+}
+
+TEST(FailureInjector, InterruptsSemantics) {
+  FailureInjector inj(100.0, 7);
+  const double f = inj.next_failure_time();
+  EXPECT_TRUE(inj.interrupts(f - 1.0, 2.0));
+  EXPECT_FALSE(inj.interrupts(f + 0.001, 10.0));  // already past
+  EXPECT_FALSE(inj.interrupts(f - 5.0, 4.0));     // ends before failure
+}
+
+TEST(FailureInjector, DeterministicAcrossSeeds) {
+  FailureInjector a(3600.0, 5), b(3600.0, 5), c(3600.0, 6);
+  EXPECT_DOUBLE_EQ(a.next_failure_time(), b.next_failure_time());
+  EXPECT_NE(a.next_failure_time(), c.next_failure_time());
+}
+
+TEST(FailureInjector, RejectsNonPositiveMtti) {
+  EXPECT_THROW(FailureInjector(0.0, 1), config_error);
+  EXPECT_THROW(FailureInjector(-1.0, 1), config_error);
+}
+
+}  // namespace
+}  // namespace lck

@@ -1,0 +1,315 @@
+/// Iterative solver tests: convergence on the paper's operators, restart
+/// semantics (the lossy recovery path), traditional save/restore exactness,
+/// and iteration accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "solvers/factory.hpp"
+#include "sparse/gen/poisson3d.hpp"
+#include "sparse/gen/random_spd.hpp"
+
+namespace lck {
+namespace {
+
+/// True relative residual computed from scratch.
+double true_rel_residual(const CsrMatrix& a, const Vector& b, const Vector& x) {
+  Vector r(b.size());
+  a.residual(b, x, r);
+  return norm2(r) / norm2(b);
+}
+
+struct ProblemSetup {
+  CsrMatrix a;
+  Vector b;
+};
+
+ProblemSetup poisson_problem(index_t n, bool spd) {
+  ProblemSetup p;
+  p.a = spd ? poisson3d_spd(n) : poisson3d(n);
+  const Vector xt = smooth_solution(p.a.rows());
+  p.b.assign(xt.size(), 0.0);
+  p.a.multiply(xt, p.b);
+  return p;
+}
+
+// ----- convergence across methods (parameterized) ---------------------------------
+
+struct MethodCase {
+  const char* method;
+  bool needs_spd;
+  double rtol;
+};
+
+class SolverConvergence : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(SolverConvergence, ReachesRequestedTolerance) {
+  const auto [method, needs_spd, rtol] = GetParam();
+  const ProblemSetup p = poisson_problem(8, needs_spd);
+  SolverSpec spec;
+  spec.method = method;
+  spec.options.rtol = rtol;
+  spec.options.max_iterations = 20000;
+  const auto pc =
+      needs_spd ? make_preconditioner("bjacobi", p.a, 4) : nullptr;
+  auto solver = make_solver(spec, p.a, p.b, pc.get());
+  const auto st = solver->solve();
+  EXPECT_TRUE(st.converged) << method;
+  EXPECT_LE(true_rel_residual(p.a, p.b, solver->solution()), rtol * 1.1)
+      << method;
+}
+
+TEST_P(SolverConvergence, ResidualHistoryIsRecorded) {
+  const auto [method, needs_spd, rtol] = GetParam();
+  const ProblemSetup p = poisson_problem(5, needs_spd);
+  SolverSpec spec;
+  spec.method = method;
+  spec.options.rtol = rtol;
+  auto solver = make_solver(spec, p.a, p.b, nullptr);
+  solver->solve();
+  EXPECT_EQ(solver->residual_history().size(),
+            static_cast<std::size_t>(solver->iteration()));
+  EXPECT_LE(solver->residual_history().back(),
+            rtol * norm2(p.b) * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, SolverConvergence,
+    ::testing::Values(MethodCase{"jacobi", false, 1e-6},
+                      MethodCase{"gauss-seidel", false, 1e-6},
+                      MethodCase{"sor", false, 1e-6},
+                      MethodCase{"ssor", false, 1e-6},
+                      MethodCase{"cg", true, 1e-8},
+                      MethodCase{"gmres", true, 1e-8},
+                      MethodCase{"bicgstab", true, 1e-8}),
+    [](const auto& info) { return std::string(info.param.method == std::string("gauss-seidel") ? "gauss_seidel" : info.param.method); });
+
+// ----- specific behaviours ---------------------------------------------------------
+
+TEST(Jacobi, ConvergesToKnownSolution) {
+  const ProblemSetup p = poisson_problem(6, false);
+  JacobiSolver s(p.a, p.b, {.rtol = 1e-10, .max_iterations = 50000});
+  s.solve();
+  const Vector xt = smooth_solution(p.a.rows());
+  EXPECT_LT(max_abs_diff(s.solution(), xt), 1e-6);
+}
+
+TEST(Jacobi, SpectralRadiusEstimateBelowOne) {
+  const ProblemSetup p = poisson_problem(6, false);
+  JacobiSolver s(p.a, p.b, {.rtol = 1e-8});
+  s.solve();
+  const double r = s.estimate_spectral_radius();
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(Sor, OptimalOmegaBeatsGaussSeidel) {
+  const ProblemSetup p = poisson_problem(6, false);
+  SolveOptions opts{.rtol = 1e-8, .max_iterations = 50000};
+  GaussSeidelSolver gs(p.a, p.b, opts);
+  SorSolver sor(p.a, p.b, 1.6, SweepKind::kForward, opts);
+  gs.solve();
+  sor.solve();
+  EXPECT_LT(sor.iteration(), gs.iteration());
+}
+
+TEST(Sor, RejectsOmegaOutOfRange) {
+  const ProblemSetup p = poisson_problem(3, false);
+  EXPECT_THROW(SorSolver(p.a, p.b, 2.0), config_error);
+  EXPECT_THROW(SorSolver(p.a, p.b, 0.0), config_error);
+}
+
+TEST(Cg, SuperlinearOnSpd) {
+  const ProblemSetup p = poisson_problem(8, true);
+  const auto pc = make_preconditioner("ic0", p.a);
+  CgSolver s(p.a, p.b, pc.get(), {.rtol = 1e-10});
+  const auto st = s.solve();
+  EXPECT_TRUE(st.converged);
+  // CG with IC(0) on a 512-dof Poisson system should converge in far fewer
+  // iterations than the dimension.
+  EXPECT_LT(s.iteration(), 100);
+}
+
+TEST(Cg, PreconditioningReducesIterations) {
+  const ProblemSetup p = poisson_problem(8, true);
+  CgSolver plain(p.a, p.b, nullptr, {.rtol = 1e-8});
+  const auto pc = make_preconditioner("ic0", p.a);
+  CgSolver pcg(p.a, p.b, pc.get(), {.rtol = 1e-8});
+  plain.solve();
+  pcg.solve();
+  EXPECT_LT(pcg.iteration(), plain.iteration());
+}
+
+TEST(Bicgstab, HandlesNonsymmetric) {
+  RandomSpdOptions opt;
+  opt.n = 300;
+  opt.symmetric = false;
+  opt.dominance = 2.0;
+  const CsrMatrix a = random_dominant(opt);
+  Rng rng(8);
+  Vector xt(a.rows());
+  for (auto& v : xt) v = rng.uniform(-1, 1);
+  Vector b(a.rows());
+  a.multiply(xt, b);
+  BicgstabSolver s(a, b, nullptr, {.rtol = 1e-9});
+  const auto st = s.solve();
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(true_rel_residual(a, b, s.solution()), 1e-8);
+}
+
+// ----- restart semantics (lossy recovery path, Algorithm 2) -----------------------
+
+class RestartBehaviour : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RestartBehaviour, RestartFromCurrentIterateStillConverges) {
+  const std::string method = GetParam();
+  const bool spd = method == "cg" || method == "gmres" || method == "bicgstab";
+  const ProblemSetup p = poisson_problem(6, spd);
+  SolverSpec spec;
+  spec.method = method;
+  spec.options.rtol = 1e-8;
+  spec.options.max_iterations = 60000;
+  auto solver = make_solver(spec, p.a, p.b, nullptr);
+
+  for (int i = 0; i < 25 && !solver->converged(); ++i) solver->step();
+  const Vector snapshot = solver->solution();
+  solver->restart(snapshot);  // exact restart: residual must not jump
+  const double after = solver->residual_norm();
+  for (index_t i = 0; !solver->converged() &&
+                      solver->iteration() < spec.options.max_iterations;
+       ++i)
+    solver->step();
+  EXPECT_TRUE(solver->converged()) << method << " residual " << after;
+}
+
+TEST_P(RestartBehaviour, RestartFromPerturbedIterateConverges) {
+  // This is exactly what a lossy recovery does: x' = x + e, |e| ≤ eb·|x|.
+  const std::string method = GetParam();
+  const bool spd = method == "cg" || method == "gmres" || method == "bicgstab";
+  const ProblemSetup p = poisson_problem(6, spd);
+  SolverSpec spec;
+  spec.method = method;
+  spec.options.rtol = 1e-8;
+  spec.options.max_iterations = 60000;
+  auto solver = make_solver(spec, p.a, p.b, nullptr);
+
+  for (int i = 0; i < 30 && !solver->converged(); ++i) solver->step();
+  Vector perturbed = solver->solution();
+  Rng rng(77);
+  for (auto& v : perturbed) v *= 1.0 + 1e-4 * (rng.uniform() - 0.5);
+  solver->restart(perturbed);
+  const auto st = solver->solve();
+  EXPECT_TRUE(st.converged) << method;
+  EXPECT_LE(true_rel_residual(p.a, p.b, solver->solution()), 1e-7) << method;
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, RestartBehaviour,
+                         ::testing::Values("jacobi", "cg", "gmres",
+                                           "bicgstab"));
+
+// ----- traditional checkpoint/restore exactness -----------------------------------
+
+class SaveRestore : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SaveRestore, RestoredRunMatchesUninterruptedRun) {
+  const std::string method = GetParam();
+  const bool spd = method != "jacobi";
+  const ProblemSetup p = poisson_problem(6, spd);
+  SolverSpec spec;
+  spec.method = method;
+  spec.options.rtol = 1e-9;
+  spec.options.max_iterations = 60000;
+
+  // Reference: run straight to convergence.
+  auto ref = make_solver(spec, p.a, p.b, nullptr);
+  ref->solve();
+
+  // Interrupted: step 20, snapshot dynamic state, step 10 more ("lost"),
+  // restore, and continue — must converge at the same iteration count.
+  // Snapshot a third of the way to convergence, lose a further sixth.
+  const int snapshot_at = std::max<int>(2, static_cast<int>(ref->iteration() / 3));
+  const int lost_steps = std::max<int>(1, static_cast<int>(ref->iteration() / 6));
+
+  auto s = make_solver(spec, p.a, p.b, nullptr);
+  for (int i = 0; i < snapshot_at && !s->converged(); ++i) s->step();
+  ASSERT_FALSE(s->converged()) << "snapshot must happen mid-solve";
+
+  std::vector<Vector> saved;
+  for (const auto& var : s->checkpoint_vectors()) saved.push_back(*var.data);
+  ByteWriter bw;
+  s->save_scalars(bw);
+  const auto blob = std::move(bw).take();
+
+  for (int i = 0; i < lost_steps && !s->converged(); ++i)
+    s->step();  // work that will be rolled back
+
+  auto vars = s->checkpoint_vectors();
+  for (std::size_t i = 0; i < vars.size(); ++i) *vars[i].data = saved[i];
+  ByteReader br(blob);
+  s->restore_scalars(br);
+  s->resume_after_restore();
+  EXPECT_EQ(s->iteration(), snapshot_at);
+
+  s->solve();
+  EXPECT_TRUE(s->converged());
+  if (method == "gmres") {
+    // Restarted GMRES rebuilds the Krylov basis from the restored x (only x
+    // is dynamic — paper §4.2), so the iteration count may differ slightly,
+    // but the solution must still meet the tolerance.
+    EXPECT_LE(true_rel_residual(p.a, p.b, s->solution()),
+              spec.options.rtol * 1.1);
+  } else {
+    EXPECT_EQ(s->iteration(), ref->iteration())
+        << method << ": traditional recovery must be exact";
+    EXPECT_LT(max_abs_diff(s->solution(), ref->solution()), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SaveRestore,
+                         ::testing::Values("jacobi", "cg", "gmres",
+                                           "bicgstab"));
+
+TEST(CheckpointVectors, CgExposesXandP) {
+  const ProblemSetup p = poisson_problem(4, true);
+  CgSolver s(p.a, p.b);
+  const auto vars = s.checkpoint_vectors();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0].name, "x");
+  EXPECT_EQ(vars[1].name, "p");
+}
+
+TEST(CheckpointVectors, JacobiAndGmresExposeOnlyX) {
+  const ProblemSetup p = poisson_problem(4, true);
+  JacobiSolver j(poisson3d(4), p.b);
+  EXPECT_EQ(j.checkpoint_vectors().size(), 1u);
+  GmresSolver g(p.a, p.b);
+  EXPECT_EQ(g.checkpoint_vectors().size(), 1u);
+}
+
+TEST(SolverGuards, MismatchedRhsThrows) {
+  const CsrMatrix a = poisson3d_spd(3);
+  Vector b(5, 1.0);
+  EXPECT_THROW(CgSolver(a, b), config_error);
+}
+
+TEST(SolverGuards, SetIterationAdjustsCounter) {
+  const ProblemSetup p = poisson_problem(4, false);
+  JacobiSolver s(p.a, p.b);
+  s.step();
+  s.step();
+  EXPECT_EQ(s.iteration(), 2);
+  s.set_iteration(1);
+  EXPECT_EQ(s.iteration(), 1);
+}
+
+TEST(Factory, UnknownMethodThrows) {
+  const ProblemSetup p = poisson_problem(3, true);
+  SolverSpec spec;
+  spec.method = "multigrid";
+  EXPECT_THROW(make_solver(spec, p.a, p.b), config_error);
+}
+
+}  // namespace
+}  // namespace lck

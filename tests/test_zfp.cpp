@@ -1,0 +1,181 @@
+/// ZFP-like transform compressor tests plus the pointwise-relative adapter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "compress/pwrel_adapter.hpp"
+#include "sparse/vector_ops.hpp"
+#include "compress/zfp/zfp_like.hpp"
+
+namespace lck {
+namespace {
+
+Vector wave(std::size_t n, double freq = 6.28318, double offset = 2.0) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::sin(freq * static_cast<double>(i) / static_cast<double>(n)) +
+           offset;
+  return v;
+}
+
+Vector roundtrip(const Compressor& c, const Vector& in) {
+  const auto stream = c.compress(in);
+  Vector out(in.size());
+  c.decompress(stream, out);
+  return out;
+}
+
+class ZfpAbsBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZfpAbsBound, BoundHoldsOnSmoothData) {
+  const double eb = GetParam();
+  ZfpLikeCompressor c(ErrorBound::absolute(eb));
+  const Vector in = wave(16000);
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), eb) << "index " << i;
+}
+
+TEST_P(ZfpAbsBound, BoundHoldsOnRandomData) {
+  const double eb = GetParam();
+  ZfpLikeCompressor c(ErrorBound::absolute(eb));
+  Rng rng(31);
+  Vector in(10000);
+  for (auto& x : in) x = rng.uniform(-100.0, 100.0);
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), eb) << "index " << i;
+}
+
+TEST_P(ZfpAbsBound, BoundHoldsOnMixedMagnitudeBlocks) {
+  // Large and tiny values in the same 4-block stress the common-exponent
+  // alignment; the verified-raw fallback must keep the bound.
+  const double eb = GetParam();
+  ZfpLikeCompressor c(ErrorBound::absolute(eb));
+  Rng rng(17);
+  Vector in(8192);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = (i % 4 == 0) ? rng.uniform(-1e9, 1e9) : rng.uniform(-1e-9, 1e-9);
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), eb) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ZfpAbsBound,
+                         ::testing::Values(1e-1, 1e-3, 1e-6, 1e-12));
+
+TEST(Zfp, AllZeroBlocksAreOneFlag) {
+  ZfpLikeCompressor c(ErrorBound::absolute(1e-6));
+  const Vector in(100000, 0.0);
+  const auto stream = c.compress(in);
+  // 25k blocks × 2 bits ≈ 6.3 KB ≪ 800 KB raw.
+  EXPECT_LT(stream.size(), 10000u);
+  Vector out(in.size());
+  c.decompress(stream, out);
+  for (const double x : out) ASSERT_EQ(x, 0.0);
+}
+
+TEST(Zfp, SmoothDataCompressesWell) {
+  ZfpLikeCompressor c(ErrorBound::absolute(1e-4));
+  const double r = compression_ratio(c, wave(100000));
+  EXPECT_GT(r, 3.0);  // transform coding wins ~3-4x at this bound
+}
+
+TEST(Zfp, LooserBoundGivesSmallerStream) {
+  const Vector v = wave(50000);
+  ZfpLikeCompressor loose(ErrorBound::absolute(1e-2));
+  ZfpLikeCompressor tight(ErrorBound::absolute(1e-10));
+  EXPECT_GT(compression_ratio(loose, v), compression_ratio(tight, v));
+}
+
+TEST(Zfp, NonFiniteBlocksFallBackToRaw) {
+  ZfpLikeCompressor c(ErrorBound::absolute(1e-6));
+  Vector in(64, 1.0);
+  in[5] = std::numeric_limits<double>::infinity();
+  in[9] = std::numeric_limits<double>::quiet_NaN();
+  const Vector out = roundtrip(c, in);
+  EXPECT_TRUE(std::isinf(out[5]));
+  EXPECT_TRUE(std::isnan(out[9]));
+  EXPECT_NEAR(out[0], 1.0, 1e-6);
+}
+
+TEST(Zfp, PartialTailBlock) {
+  ZfpLikeCompressor c(ErrorBound::absolute(1e-8));
+  for (std::size_t n : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 1001u}) {
+    const Vector in = wave(n);
+    const Vector out = roundtrip(c, in);
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_LE(std::fabs(in[i] - out[i]), 1e-8);
+  }
+}
+
+TEST(Zfp, ValueRangeRelativeMode) {
+  const double eb = 1e-5;
+  ZfpLikeCompressor c(ErrorBound::value_range_rel(eb));
+  Vector in = wave(10000);
+  for (auto& x : in) x *= 500.0;  // range ≈ 1000
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), eb * 1000.0 * 1.01);
+}
+
+TEST(Zfp, PointwiseRelativeModeRejectedWithoutAdapter) {
+  ZfpLikeCompressor c(ErrorBound::pointwise_rel(1e-4));
+  const Vector in = wave(100);
+  EXPECT_THROW((void)c.compress(in), config_error);
+}
+
+TEST(Zfp, TruncatedStreamThrows) {
+  ZfpLikeCompressor c(ErrorBound::absolute(1e-6));
+  auto stream = c.compress(wave(5000));
+  stream.resize(stream.size() / 2);
+  Vector out(5000);
+  EXPECT_THROW(c.decompress(stream, out), corrupt_stream_error);
+}
+
+// ----- pointwise-relative adapter ------------------------------------------------
+
+class PwRelAdapterBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(PwRelAdapterBound, PaperBoundHoldsThroughZfp) {
+  const double eb = GetParam();
+  PointwiseRelativeAdapter c(std::make_unique<ZfpLikeCompressor>(), eb);
+  Rng rng(41);
+  Vector in(20000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = (rng.uniform() < 0.5 ? -1.0 : 1.0) *
+            std::pow(10.0, rng.uniform(-8.0, 8.0));
+    if (i % 53 == 0) in[i] = 0.0;
+  }
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), eb * std::fabs(in[i]) + 1e-300)
+        << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, PwRelAdapterBound,
+                         ::testing::Values(1e-3, 1e-4, 1e-6));
+
+TEST(PwRelAdapter, NameReflectsInner) {
+  PointwiseRelativeAdapter c(std::make_unique<ZfpLikeCompressor>(), 1e-4);
+  EXPECT_EQ(c.name(), "pwrel+zfp");
+}
+
+TEST(PwRelAdapter, FactoryWrapsZfpAutomatically) {
+  const auto c = make_compressor("zfp", ErrorBound::pointwise_rel(1e-4));
+  EXPECT_EQ(c->name(), "pwrel+zfp");
+  EXPECT_TRUE(c->lossy());
+  const Vector in = wave(1000);
+  const auto stream = c->compress(in);
+  Vector out(in.size());
+  c->decompress(stream, out);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), 1e-4 * std::fabs(in[i]) + 1e-300);
+}
+
+}  // namespace
+}  // namespace lck
