@@ -1,5 +1,7 @@
 #include "ckpt/checkpoint_manager.hpp"
 
+#include <optional>
+
 #include "common/byte_buffer.hpp"
 #include "common/crc32.hpp"
 #include "common/timer.hpp"
@@ -55,6 +57,15 @@ CheckpointRecord CheckpointManager::checkpoint() {
     if (e.vec != nullptr) {
       out.put(static_cast<std::uint8_t>(VarKind::kVector));
       const Compressor* comp = compressor_for(e);
+      // Vectors spanning more than one block go through the parallel
+      // block pipeline; the stored compressor name records the layout.
+      // A registered compressor that is already a BlockCompressor is
+      // used as-is — nesting would frame (and CRC) the payload twice.
+      std::optional<BlockCompressor> blk;
+      if (block_elems_ > 0 && e.vec->size() > block_elems_ &&
+          dynamic_cast<const BlockCompressor*>(comp) == nullptr)
+        blk.emplace(comp, block_elems_);
+      if (blk) comp = &*blk;
       out.put_string(comp->name());
       out.put(static_cast<std::uint64_t>(e.vec->size()));
       const auto payload = comp->compress(*e.vec);
@@ -121,10 +132,18 @@ CheckpointRecord CheckpointManager::recover() {
     if (kind == VarKind::kVector) {
       require(e.vec != nullptr, "recover: kind mismatch (expected vector)");
       const Compressor* comp = compressor_for(e);
-      if (comp->name() != comp_name)
+      // The stored name decides the layout: a "block+" prefix means the
+      // payload is a framed block stream around the registered compressor
+      // (the block size is embedded in the stream itself).
+      std::optional<BlockCompressor> blk;
+      if (comp_name == "block+" + comp->name()) {
+        blk.emplace(comp);
+        comp = &*blk;
+      } else if (comp->name() != comp_name) {
         throw corrupt_stream_error(
             "recover: compressor mismatch for variable " + name + " (stored " +
             comp_name + ", registered " + comp->name() + ")");
+      }
       e.vec->resize(elem_count);
       comp->decompress(payload, *e.vec);
       rec.raw_bytes += elem_count * sizeof(double);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "ckpt/checkpoint_store.hpp"
+#include "compress/block_compressor.hpp"
 #include "compress/compressor.hpp"
 #include "sparse/vector_ops.hpp"
 
@@ -81,6 +82,19 @@ class CheckpointManager {
     retention_ = n;
   }
 
+  /// Configure the parallel block-compression pipeline: vectors larger than
+  /// `block_elems` are split into blocks compressed concurrently (per-block
+  /// CRC-32, any scheme). 0 disables. Default: BlockCompressor's block size,
+  /// so large production vectors get the parallel path automatically while
+  /// small ones keep the single-shot stream. Recovery reads whichever layout
+  /// the stored checkpoint used, so this can change between runs.
+  void set_block_pipeline(std::size_t block_elems) noexcept {
+    block_elems_ = block_elems;
+  }
+  [[nodiscard]] std::size_t block_pipeline_elems() const noexcept {
+    return block_elems_;
+  }
+
   [[nodiscard]] const CheckpointStore& store() const { return *store_; }
 
  private:
@@ -101,6 +115,7 @@ class CheckpointManager {
   std::map<int, Entry> entries_;
   int next_version_ = 0;
   int retention_ = 1;
+  std::size_t block_elems_ = BlockCompressor::kDefaultBlockElems;
   bool recovery_pending_ = false;
 };
 

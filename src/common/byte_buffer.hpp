@@ -24,11 +24,14 @@ class ByteWriter {
 
   /// Append a trivially-copyable value verbatim (host endianness; the
   /// library only targets little-endian platforms, asserted in tests).
+  /// resize+memcpy rather than insert(ptr, ptr): GCC 12 emits spurious
+  /// -Wstringop-overflow warnings for the insert form at -O2.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(const T& v) {
-    const auto* p = reinterpret_cast<const byte_t*>(&v);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    const std::size_t old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
   }
 
   /// Append raw bytes.
@@ -46,8 +49,9 @@ class ByteWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put_array(const T* data, std::size_t count) {
-    const auto* p = reinterpret_cast<const byte_t*>(data);
-    buf_.insert(buf_.end(), p, p + count * sizeof(T));
+    const std::size_t old = buf_.size();
+    buf_.resize(old + count * sizeof(T));
+    if (count > 0) std::memcpy(buf_.data() + old, data, count * sizeof(T));
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
@@ -88,6 +92,7 @@ class ByteReader {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void get_array(T* out, std::size_t count) {
+    if (count == 0) return;  // memcpy with null out/src is UB even for 0
     check(count * sizeof(T));
     std::memcpy(out, data_.data() + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
@@ -107,7 +112,9 @@ class ByteReader {
 
  private:
   void check(std::size_t need) const {
-    if (pos_ + need > data_.size())
+    // need > size - pos, not pos + need > size: the latter wraps for
+    // attacker-sized `need` and lets the read through.
+    if (need > data_.size() - pos_)
       throw corrupt_stream_error("read past end of buffer");
   }
   std::span<const byte_t> data_;

@@ -1,0 +1,142 @@
+#include "compress/block_compressor.hpp"
+
+#include <exception>
+#include <mutex>
+
+#include "common/byte_buffer.hpp"
+#include "common/crc32.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace lck {
+namespace {
+
+constexpr std::uint32_t kMagicBlock = 0x314b4c42u;  // "BLK1"
+
+/// Run `body(i)` for each block in parallel, capturing the first exception
+/// and rethrowing it on the calling thread (throwing out of an OpenMP
+/// region would terminate the process).
+template <typename Body>
+void for_each_block(index_t nblocks, Body&& body) {
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  parallel_for(0, nblocks, [&](index_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+BlockCompressor::BlockCompressor(const Compressor* inner,
+                                 std::size_t block_elems)
+    : inner_(inner), block_elems_(block_elems) {
+  require(inner_ != nullptr, "block compressor: null inner compressor");
+  require(block_elems_ > 0, "block compressor: block size must be positive");
+}
+
+BlockCompressor::BlockCompressor(std::unique_ptr<Compressor> inner,
+                                 std::size_t block_elems)
+    : inner_(inner.get()), owned_(std::move(inner)), block_elems_(block_elems) {
+  require(inner_ != nullptr, "block compressor: null inner compressor");
+  require(block_elems_ > 0, "block compressor: block size must be positive");
+}
+
+std::string BlockCompressor::name() const {
+  return "block+" + inner_->name();
+}
+
+bool BlockCompressor::lossy() const noexcept { return inner_->lossy(); }
+
+std::vector<byte_t> BlockCompressor::compress(
+    std::span<const double> data) const {
+  const std::size_t total = data.size();
+  const std::size_t nblocks = (total + block_elems_ - 1) / block_elems_;
+
+  // Compress every block independently; this is the hot loop the OpenMP
+  // pipeline parallelizes.
+  std::vector<std::vector<byte_t>> payloads(nblocks);
+  for_each_block(static_cast<index_t>(nblocks), [&](index_t b) {
+    const std::size_t begin = static_cast<std::size_t>(b) * block_elems_;
+    const std::size_t len = std::min(block_elems_, total - begin);
+    payloads[static_cast<std::size_t>(b)] =
+        inner_->compress(data.subspan(begin, len));
+  });
+
+  std::size_t payload_bytes = 0;
+  for (const auto& p : payloads) payload_bytes += p.size();
+
+  ByteWriter out(4 + 8 + 8 + 4 + nblocks * 12 + payload_bytes);
+  out.put(kMagicBlock);
+  out.put(static_cast<std::uint64_t>(total));
+  out.put(static_cast<std::uint64_t>(block_elems_));
+  out.put(static_cast<std::uint32_t>(nblocks));
+  for (const auto& p : payloads) {
+    out.put(static_cast<std::uint64_t>(p.size()));
+    out.put(crc32(p));
+  }
+  for (const auto& p : payloads) out.put_bytes(p);
+  return std::move(out).take();
+}
+
+void BlockCompressor::decompress(std::span<const byte_t> stream,
+                                 std::span<double> out) const {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagicBlock)
+    throw corrupt_stream_error("block: bad magic");
+  const auto total = in.get<std::uint64_t>();
+  const auto stream_block_elems = in.get<std::uint64_t>();
+  const auto nblocks = in.get<std::uint32_t>();
+  if (total != out.size()) throw corrupt_stream_error("block: size mismatch");
+  if (stream_block_elems == 0)
+    throw corrupt_stream_error("block: zero block size");
+  // (total-1)/be + 1 instead of (total+be-1)/be: the latter wraps for a
+  // corrupted block size near 2^64 and would accept nblocks == 0.
+  const std::uint64_t expect_blocks =
+      total == 0 ? 0 : (total - 1) / stream_block_elems + 1;
+  if (nblocks != expect_blocks)
+    throw corrupt_stream_error("block: block count mismatch");
+
+  struct Frame {
+    std::size_t offset;
+    std::size_t size;
+    std::uint32_t crc;
+  };
+  std::vector<Frame> frames(nblocks);
+  std::size_t payload_bytes = 0;
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    frames[b].size = in.get<std::uint64_t>();
+    frames[b].crc = in.get<std::uint32_t>();
+    frames[b].offset = payload_bytes;
+    // Validate each size before trusting it: a corrupted frame size must
+    // surface as corrupt_stream_error, not as an overflowed accumulator
+    // that defeats the bounds check below.
+    if (frames[b].size > in.remaining())
+      throw corrupt_stream_error("block: frame size exceeds stream");
+    payload_bytes += frames[b].size;
+    if (payload_bytes < frames[b].size)
+      throw corrupt_stream_error("block: frame sizes overflow");
+  }
+  const auto payloads = in.get_bytes(payload_bytes);
+  if (!in.exhausted())
+    throw corrupt_stream_error("block: trailing bytes after payloads");
+
+  for_each_block(static_cast<index_t>(nblocks), [&](index_t bi) {
+    const auto& f = frames[static_cast<std::size_t>(bi)];
+    const auto payload = payloads.subspan(f.offset, f.size);
+    if (crc32(payload) != f.crc)
+      throw corrupt_stream_error("block: CRC mismatch in block " +
+                                 std::to_string(bi));
+    const std::size_t begin =
+        static_cast<std::size_t>(bi) * stream_block_elems;
+    const std::size_t len =
+        std::min<std::size_t>(stream_block_elems, total - begin);
+    inner_->decompress(payload, out.subspan(begin, len));
+  });
+}
+
+}  // namespace lck

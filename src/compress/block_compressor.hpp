@@ -1,0 +1,61 @@
+#pragma once
+/// \file block_compressor.hpp
+/// \brief Parallel block-compression pipeline (paper §5: compression must be
+///        cheap relative to the PFS write for lossy checkpointing to pay off).
+///
+/// BlockCompressor adapts any inner Compressor: the input vector is split
+/// into fixed-size element blocks, each block is compressed independently
+/// (in parallel via parallel_for), and the result is a self-describing
+/// framed stream with a per-block CRC-32. Decompression likewise proceeds
+/// block-parallel, and a corrupted block is reported with its index.
+///
+/// Stream layout (all little-endian):
+///   u32  magic "BLK1"
+///   u64  total element count
+///   u64  elements per block (as configured at compression time)
+///   u32  block count
+///   per block: { u64 payload_bytes, u32 crc32(payload) }   (index table)
+///   concatenated block payloads
+///
+/// The index-table-first layout means decompress() can compute every block's
+/// offset up front and fan the blocks out to threads immediately.
+
+#include <memory>
+
+#include "compress/compressor.hpp"
+
+namespace lck {
+
+class BlockCompressor final : public Compressor {
+ public:
+  /// 64Ki doubles = 512 KiB per block: big enough to amortize per-block
+  /// headers, small enough to load-balance across threads.
+  static constexpr std::size_t kDefaultBlockElems = std::size_t{1} << 16;
+
+  /// Non-owning: `inner` must outlive this adapter (mirrors how
+  /// CheckpointManager holds compressors).
+  explicit BlockCompressor(const Compressor* inner,
+                           std::size_t block_elems = kDefaultBlockElems);
+
+  /// Owning convenience, e.g. BlockCompressor(make_compressor("sz")).
+  explicit BlockCompressor(std::unique_ptr<Compressor> inner,
+                           std::size_t block_elems = kDefaultBlockElems);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool lossy() const noexcept override;
+
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const double> data) const override;
+  void decompress(std::span<const byte_t> stream,
+                  std::span<double> out) const override;
+
+  [[nodiscard]] std::size_t block_elems() const noexcept { return block_elems_; }
+  [[nodiscard]] const Compressor& inner() const noexcept { return *inner_; }
+
+ private:
+  const Compressor* inner_;
+  std::unique_ptr<Compressor> owned_;
+  std::size_t block_elems_;
+};
+
+}  // namespace lck

@@ -17,7 +17,7 @@ std::span<const byte_t> as_bytes(std::span<const double> data) {
 void bytes_to_doubles(std::span<const byte_t> bytes, std::span<double> out) {
   if (bytes.size() != out.size() * sizeof(double))
     throw corrupt_stream_error("lossless: byte count mismatch");
-  std::memcpy(out.data(), bytes.data(), bytes.size());
+  if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
 }
 
 constexpr std::uint32_t kMagicRle = 0x31454c52u;      // "RLE1"

@@ -65,7 +65,10 @@ void core_compress(ByteWriter& out, std::span<const double> data, double eb) {
     const double pred = bank.predict();
     double reconstructed;
     std::uint32_t code = 0;
-    if (eb > 0.0 && std::isfinite(pred)) {
+    // eb == 0 still enters the predicted path: inv_step is then 0, so the
+    // candidate is the prediction itself and the |candidate − x| ≤ 0 check
+    // admits it only when the predictor is exact (e.g. constant data).
+    if (std::isfinite(pred)) {
       const double q = std::nearbyint((x - pred) * inv_step);
       if (std::fabs(q) < static_cast<double>(kRadius)) {
         const double candidate = pred + 2.0 * eb * q;
@@ -186,8 +189,10 @@ std::vector<byte_t> SzLikeCompressor::compress(
         lo = std::min(lo, x);
         hi = std::max(hi, x);
       }
+      // Degenerate range (constant or single-element data) means the bound
+      // value·(max−min) is zero: store exactly (core handles eb == 0).
       const double range = n > 0 ? hi - lo : 0.0;
-      const double eb_abs = range > 0.0 ? eb_.value * range : eb_.value;
+      const double eb_abs = eb_.value * range;
       core_compress(out, data, eb_abs);
       break;
     }

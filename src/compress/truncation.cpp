@@ -55,8 +55,10 @@ std::vector<byte_t> TruncationCompressor::compress(
       lo = std::min(lo, x);
       hi = std::max(hi, x);
     }
+    // Degenerate range (constant or single-element data) means the bound
+    // value·(max−min) is zero: groom() keeps values exact when eb == 0.
     const double range = data.empty() ? 0.0 : hi - lo;
-    eb_abs = range > 0.0 ? eb_.value * range : eb_.value;
+    eb_abs = eb_.value * range;
   }
 
   std::vector<double> groomed(data.size());
@@ -90,7 +92,7 @@ void TruncationCompressor::decompress(std::span<const byte_t> stream,
   const auto shuffled =
       deflate_decompress(in.get_bytes(packed_size), n * sizeof(double));
   const auto bytes = unshuffle_bytes(shuffled, sizeof(double));
-  std::memcpy(out.data(), bytes.data(), bytes.size());
+  if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
 }
 
 }  // namespace lck

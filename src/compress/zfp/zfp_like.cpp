@@ -175,8 +175,11 @@ std::vector<byte_t> ZfpLikeCompressor::compress(
       lo = std::min(lo, x);
       hi = std::max(hi, x);
     }
+    // Degenerate range (constant or single-element data) means the bound
+    // value·(max−min) is zero: eb_abs == 0 forces exact (raw) blocks via
+    // the verify-and-fallback path below.
     const double range = n > 0 ? hi - lo : 0.0;
-    eb_abs = range > 0.0 ? eb_.value * range : eb_.value;
+    eb_abs = eb_.value * range;
   }
 
   ByteWriter out(n + 64);

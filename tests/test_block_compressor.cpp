@@ -1,0 +1,320 @@
+/// Property tests for the parallel block-compression pipeline: round trips
+/// across every factory compressor × error-bound mode × block-boundary
+/// sizes, per-element error-bound verification, per-block CRC corruption
+/// detection, framing errors, and the CheckpointManager integration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+
+#include "ckpt/checkpoint_manager.hpp"
+#include "common/rng.hpp"
+#include "compress/block_compressor.hpp"
+#include "compress/compressor.hpp"
+
+namespace lck {
+namespace {
+
+// Small block so even modest test vectors span several blocks.
+constexpr std::size_t kBlock = 256;
+
+Vector solver_like(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::sin(0.01 * static_cast<double>(i)) + 2.0 +
+           1e-6 * rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+double range_of(const Vector& v) {
+  if (v.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  return *hi - *lo;
+}
+
+/// Per-element check that `out` respects `eb` relative to `in`. For the
+/// value-range-relative mode the block pipeline uses per-block ranges,
+/// which are never larger than the global range, so checking against the
+/// global range is the correct (weakest) guarantee.
+void expect_bound_holds(const Vector& in, const Vector& out, ErrorBound eb) {
+  ASSERT_EQ(in.size(), out.size());
+  const double vrr_tol = eb.value * range_of(in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double err = std::fabs(in[i] - out[i]);
+    switch (eb.mode) {
+      case ErrorBound::Mode::kAbsolute:
+        ASSERT_LE(err, eb.value + 1e-300) << "index " << i;
+        break;
+      case ErrorBound::Mode::kValueRangeRelative:
+        ASSERT_LE(err, vrr_tol + 1e-300) << "index " << i;
+        break;
+      case ErrorBound::Mode::kPointwiseRelative:
+        ASSERT_LE(err, eb.value * std::fabs(in[i]) + 1e-300) << "index " << i;
+        break;
+    }
+  }
+}
+
+// ----- round trips: compressor × error-bound mode × size --------------------
+
+using Case = std::tuple<const char*, ErrorBound::Mode>;
+
+class BlockRoundTrip : public ::testing::TestWithParam<Case> {
+ protected:
+  [[nodiscard]] static ErrorBound bound(ErrorBound::Mode mode) {
+    ErrorBound eb;
+    eb.mode = mode;
+    eb.value = mode == ErrorBound::Mode::kAbsolute ? 1e-4 : 1e-5;
+    return eb;
+  }
+};
+
+TEST_P(BlockRoundTrip, BoundarySizesRoundTripWithinBound) {
+  const auto [name, mode] = GetParam();
+  const ErrorBound eb = bound(mode);
+  const auto inner = make_compressor(name, eb);
+  const BlockCompressor blk(inner.get(), kBlock);
+
+  // 0, 1, a single odd-size block, the exact block boundary, and ±1
+  // around it plus a multi-block odd size.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{97}, kBlock - 1, kBlock,
+        kBlock + 1, 3 * kBlock - 1, 3 * kBlock, 3 * kBlock + 1,
+        std::size_t{1000}}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const Vector in = solver_like(n, n + 1);
+    const auto stream = blk.compress(in);
+    Vector out(n, -999.0);
+    blk.decompress(stream, out);
+    if (inner->lossy()) {
+      expect_bound_holds(in, out, eb);
+    } else {
+      // Lossless codecs must reproduce the input bit-identically, exactly
+      // as the single-shot path does.
+      EXPECT_EQ(in, out);
+    }
+  }
+}
+
+TEST_P(BlockRoundTrip, MatchesSingleShotDecompressedOutput) {
+  const auto [name, mode] = GetParam();
+  const ErrorBound eb = bound(mode);
+  const auto inner = make_compressor(name, eb);
+  const BlockCompressor blk(inner.get(), kBlock);
+  const Vector in = solver_like(kBlock, 42);  // exactly one block
+
+  // With a single block the pipeline payload is the inner stream itself,
+  // so decompressed outputs must agree bit-for-bit even for lossy codecs.
+  Vector via_block(in.size()), via_inner(in.size());
+  blk.decompress(blk.compress(in), via_block);
+  inner->decompress(inner->compress(in), via_inner);
+  EXPECT_EQ(via_block, via_inner);
+}
+
+TEST_P(BlockRoundTrip, CrcDetectsCorruptionInEveryBlock) {
+  const auto [name, mode] = GetParam();
+  const auto inner = make_compressor(name, bound(mode));
+  const BlockCompressor blk(inner.get(), kBlock);
+  const Vector in = solver_like(4 * kBlock, 3);
+  const auto stream = blk.compress(in);
+
+  // The index table ends after the 24-byte header + 4 frames à 12 bytes;
+  // everything beyond is block payload. Flip one bit in each quarter.
+  const std::size_t payload_start = 24 + 4 * 12;
+  ASSERT_LT(payload_start, stream.size());
+  const std::size_t payload_len = stream.size() - payload_start;
+  for (int q = 0; q < 4; ++q) {
+    auto corrupted = stream;
+    corrupted[payload_start + (payload_len * q) / 4] ^= 0x10;
+    Vector out(in.size());
+    EXPECT_THROW(blk.decompress(corrupted, out), corrupt_stream_error)
+        << "corruption in quarter " << q << " undetected";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, BlockRoundTrip,
+    ::testing::Combine(
+        ::testing::Values("none", "rle", "shuffle-rle", "deflate",
+                          "shuffle-deflate", "sz", "zfp", "trunc"),
+        ::testing::Values(ErrorBound::Mode::kAbsolute,
+                          ErrorBound::Mode::kValueRangeRelative,
+                          ErrorBound::Mode::kPointwiseRelative)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      switch (std::get<1>(info.param)) {
+        case ErrorBound::Mode::kAbsolute: return name + "_abs";
+        case ErrorBound::Mode::kValueRangeRelative: return name + "_vrr";
+        case ErrorBound::Mode::kPointwiseRelative: return name + "_pwr";
+      }
+      return name;
+    });
+
+// ----- framing and interface ------------------------------------------------
+
+TEST(BlockCompressor, NameAndLossyDelegateToInner) {
+  const BlockCompressor lossless(make_compressor("deflate"));
+  EXPECT_EQ(lossless.name(), "block+deflate");
+  EXPECT_FALSE(lossless.lossy());
+  const BlockCompressor lossy(make_compressor("sz"));
+  EXPECT_EQ(lossy.name(), "block+sz");
+  EXPECT_TRUE(lossy.lossy());
+}
+
+TEST(BlockCompressor, FactorySupportsBlockPrefix) {
+  const auto c = make_compressor("block+sz", ErrorBound::pointwise_rel(1e-5));
+  EXPECT_EQ(c->name(), "block+sz");
+  const Vector in = solver_like(1000, 5);
+  Vector out(in.size());
+  c->decompress(c->compress(in), out);
+  expect_bound_holds(in, out, ErrorBound::pointwise_rel(1e-5));
+}
+
+TEST(BlockCompressor, RejectsBadConstruction) {
+  EXPECT_THROW(BlockCompressor(static_cast<const Compressor*>(nullptr)),
+               config_error);
+  NoneCompressor none;
+  EXPECT_THROW(BlockCompressor(&none, 0), config_error);
+}
+
+TEST(BlockCompressor, RejectsMalformedStreams) {
+  NoneCompressor none;
+  const BlockCompressor blk(&none, kBlock);
+  const Vector in = solver_like(2 * kBlock, 7);
+  const auto stream = blk.compress(in);
+  Vector out(in.size());
+
+  auto bad_magic = stream;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(blk.decompress(bad_magic, out), corrupt_stream_error);
+
+  Vector wrong_size(in.size() + 1);
+  EXPECT_THROW(blk.decompress(stream, wrong_size), corrupt_stream_error);
+
+  auto truncated = stream;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_THROW(blk.decompress(truncated, out), corrupt_stream_error);
+
+  auto trailing = stream;
+  trailing.push_back(0);
+  EXPECT_THROW(blk.decompress(trailing, out), corrupt_stream_error);
+}
+
+TEST(BlockCompressor, HugeFrameSizeRejectedWithoutOverflow) {
+  // A corrupted frame size near 2^63 must surface as corrupt_stream_error,
+  // not wrap the payload-offset arithmetic into an out-of-bounds read.
+  NoneCompressor none;
+  const BlockCompressor blk(&none, kBlock);
+  const Vector in = solver_like(2 * kBlock, 9);
+  auto stream = blk.compress(in);
+  // First frame's u64 size field starts right after the 24-byte header.
+  const std::uint64_t huge = (std::uint64_t{1} << 63) + 6;
+  std::memcpy(stream.data() + 24, &huge, sizeof(huge));
+  Vector out(in.size());
+  EXPECT_THROW(blk.decompress(stream, out), corrupt_stream_error);
+
+  // And a corrupted block size near 2^64 must not wrap the expected block
+  // count to 0 and decompress "successfully" without writing anything: a
+  // header-only stream claiming nblocks == 0 for a non-empty vector.
+  auto huge_be = blk.compress(in);
+  huge_be.resize(24);
+  const std::uint64_t be = ~std::uint64_t{0} - 500;
+  std::memcpy(huge_be.data() + 12, &be, sizeof(be));  // block_elems field
+  std::uint32_t zero_blocks = 0;
+  std::memcpy(huge_be.data() + 20, &zero_blocks, sizeof(zero_blocks));
+  EXPECT_THROW(blk.decompress(huge_be, out), corrupt_stream_error);
+}
+
+TEST(BlockCompressor, EmptyInputProducesHeaderOnlyStream) {
+  NoneCompressor none;
+  const BlockCompressor blk(&none, kBlock);
+  const auto stream = blk.compress(Vector{});
+  EXPECT_EQ(stream.size(), 24u);  // magic + total + block_elems + count
+  Vector out;
+  blk.decompress(stream, out);  // must not throw
+}
+
+// ----- CheckpointManager integration ---------------------------------------
+
+TEST(BlockCompressor, ManagerUsesBlockPipelineForLargeVectors) {
+  NoneCompressor none;
+  CheckpointManager mgr(std::make_unique<MemoryStore>(), &none);
+  mgr.set_block_pipeline(kBlock);
+  Vector big = solver_like(10 * kBlock, 11);
+  Vector small = solver_like(kBlock / 2, 12);
+  mgr.protect(0, "big", &big);
+  mgr.protect(1, "small", &small);
+  const Vector big_saved = big, small_saved = small;
+  mgr.checkpoint();
+  big.assign(big.size(), 0.0);
+  small.assign(small.size(), 0.0);
+  mgr.recover();
+  EXPECT_EQ(big, big_saved);
+  EXPECT_EQ(small, small_saved);
+}
+
+TEST(BlockCompressor, ManagerRecoversBlockCheckpointWithPipelineDisabled) {
+  // The stored compressor name, not the current configuration, decides the
+  // layout on recovery: a checkpoint written with the pipeline enabled must
+  // recover after the pipeline is turned off (and vice versa).
+  NoneCompressor none;
+  CheckpointManager mgr(std::make_unique<MemoryStore>(), &none);
+  mgr.set_block_pipeline(kBlock);
+  Vector x = solver_like(5 * kBlock, 13);
+  mgr.protect(0, "x", &x);
+  const Vector saved = x;
+  mgr.checkpoint();
+
+  mgr.set_block_pipeline(0);  // disable
+  x.assign(x.size(), -1.0);
+  mgr.recover();
+  EXPECT_EQ(x, saved);
+
+  mgr.checkpoint();  // single-shot layout this time
+  mgr.set_block_pipeline(kBlock);
+  x.assign(x.size(), -1.0);
+  mgr.recover();
+  EXPECT_EQ(x, saved);
+}
+
+TEST(BlockCompressor, ManagerDoesNotDoubleWrapBlockCompressors) {
+  // A registered "block+sz" must not be nested inside a second pipeline
+  // layer when the manager's automatic threshold also triggers.
+  const auto blk_sz = make_compressor("block+sz");
+  auto store = std::make_unique<MemoryStore>();
+  auto* store_raw = store.get();
+  CheckpointManager mgr(std::move(store), blk_sz.get());
+  mgr.set_block_pipeline(kBlock);
+  Vector x = solver_like(4 * kBlock, 19);
+  mgr.protect(0, "x", &x);
+  mgr.checkpoint();
+  const auto raw = store_raw->read(0);
+  const std::string nested = "block+block+sz";
+  EXPECT_EQ(std::search(raw.begin(), raw.end(), nested.begin(), nested.end()),
+            raw.end())
+      << "checkpoint stream contains a nested block layer";
+  x.assign(x.size(), 0.0);
+  mgr.recover();  // and the single-layer stream must still recover
+}
+
+TEST(BlockCompressor, ManagerBlockCheckpointKeepsLossyBound) {
+  const ErrorBound eb = ErrorBound::pointwise_rel(1e-4);
+  const auto sz = make_compressor("sz", eb);
+  CheckpointManager mgr(std::make_unique<MemoryStore>(), sz.get());
+  mgr.set_block_pipeline(kBlock);
+  Vector x = solver_like(8 * kBlock, 17);
+  mgr.protect(0, "x", &x);
+  const Vector original = x;
+  mgr.checkpoint();
+  x.assign(x.size(), 0.0);
+  mgr.recover();
+  expect_bound_holds(original, x, eb);
+}
+
+}  // namespace
+}  // namespace lck

@@ -63,6 +63,54 @@ TEST(ByteBuffer, GetBytesAdvancesAndBoundsChecks) {
   EXPECT_THROW(r.get_bytes(3), corrupt_stream_error);
 }
 
+TEST(BitIo, EmptyWriterProducesEmptyBuffer) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  const auto buf = w.finish();
+  EXPECT_TRUE(buf.empty());
+  BitReader r(buf);
+  EXPECT_EQ(r.bits_remaining(), 0u);
+  EXPECT_THROW(r.read_bit(), corrupt_stream_error);
+}
+
+TEST(BitIo, ZeroWidthWriteIsANoOp) {
+  BitWriter w;
+  w.write_bits(0xffff, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write_bit(1);
+  w.write_bits(0xffff, 0);
+  EXPECT_EQ(w.bit_count(), 1u);
+  const auto buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.read_bits(0), 0u);  // reads nothing
+  EXPECT_EQ(r.read_bit(), 1u);
+}
+
+TEST(BitIo, UnalignedTailRoundTrips) {
+  // 11 bits: one full byte plus a 3-bit tail padded with zeros.
+  BitWriter w;
+  w.write_bits(0b10110100101, 11);
+  const auto buf = w.finish();
+  ASSERT_EQ(buf.size(), 2u);
+  BitReader r(buf);
+  EXPECT_EQ(r.read_bits(11), 0b10110100101u);
+  // The 5 pad bits are zero and readable; one past them throws.
+  EXPECT_EQ(r.read_bits(5), 0u);
+  EXPECT_THROW(r.read_bit(), corrupt_stream_error);
+}
+
+TEST(BitIo, SingleByteRoundTripsBitByBit) {
+  BitWriter w;
+  const unsigned bits[8] = {1, 0, 1, 1, 0, 0, 1, 0};
+  for (const unsigned b : bits) w.write_bit(b);
+  const auto buf = w.finish();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0b10110010u);
+  BitReader r(buf);
+  for (const unsigned b : bits) EXPECT_EQ(r.read_bit(), b);
+  EXPECT_EQ(r.bits_remaining(), 0u);
+}
+
 TEST(BitIo, RoundTripBits) {
   BitWriter w;
   w.write_bits(0b1011, 4);
@@ -110,6 +158,32 @@ TEST(Crc32, KnownVector) {
   const std::uint32_t c = crc32(
       {reinterpret_cast<const byte_t*>(s), 9});
   EXPECT_EQ(c, 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyBufferIsZero) {
+  // CRC-32 of the empty message: init ^ final xor = 0.
+  EXPECT_EQ(crc32({}), 0u);
+  Crc32 inc;
+  inc.update({});
+  EXPECT_EQ(inc.value(), 0u);
+}
+
+TEST(Crc32, SingleByteKnownVectors) {
+  // Reference values for 1-byte messages (IEEE 802.3 reflected polynomial).
+  const byte_t a = 'a';
+  EXPECT_EQ(crc32({&a, 1}), 0xe8b7be43u);
+  const byte_t zero = 0x00;
+  EXPECT_EQ(crc32({&zero, 1}), 0xd202ef8du);
+  const byte_t ff = 0xff;
+  EXPECT_EQ(crc32({&ff, 1}), 0xff000000u);
+}
+
+TEST(Crc32, IncrementalByteAtATimeEqualsOneShot) {
+  const char* s = "checkpoint";
+  const auto data = std::span(reinterpret_cast<const byte_t*>(s), 10);
+  Crc32 inc;
+  for (const byte_t b : data) inc.update({&b, 1});
+  EXPECT_EQ(inc.value(), crc32(data));
 }
 
 TEST(Crc32, IncrementalEqualsOneShot) {

@@ -89,8 +89,11 @@ TEST_P(SzPwRelBound, ZerosReconstructExactly) {
   Vector in(1000, 0.0);
   in[500] = 3.5;
   const Vector out = roundtrip(c, in);
-  for (std::size_t i = 0; i < in.size(); ++i)
-    if (i != 500) ASSERT_EQ(out[i], 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (i != 500) {
+      ASSERT_EQ(out[i], 0.0);
+    }
+  }
 }
 
 TEST_P(SzPwRelBound, SignsArePreserved) {
@@ -100,9 +103,11 @@ TEST_P(SzPwRelBound, SignsArePreserved) {
   Vector in(5000);
   for (auto& x : in) x = rng.uniform(-10.0, 10.0);
   const Vector out = roundtrip(c, in);
-  for (std::size_t i = 0; i < in.size(); ++i)
-    if (in[i] != 0.0)
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != 0.0) {
       ASSERT_EQ(std::signbit(in[i]), std::signbit(out[i])) << "index " << i;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Bounds, SzPwRelBound,
