@@ -47,6 +47,35 @@ inline int run_ckpt_time_figure(const std::string& method, index_t grid,
                 lless.recovery_seconds, lossy.recovery_seconds);
   }
 
+  // Beyond the paper: the staged (async) pipeline blocks the solver only
+  // for the node-local staging copy; the paper's sync checkpoint times
+  // above become overlapped drain durations. The sync column repeats the
+  // blocking cost of (a) for direct comparison.
+  std::printf("\n(c) Solver-blocking checkpoint time (s), sync vs async\n");
+  std::printf("%-8s %-11s %-11s %-11s %-11s %-11s %-11s\n", "procs",
+              "Trad/sync", "Trad/async", "Lossless/s", "Lossless/a",
+              "Lossy/sync", "Lossy/asyn");
+  for (const int procs : kTable3Procs) {
+    const auto trad = scheme_times(pm, procs, CkptScheme::kTraditional, 1.0);
+    const auto lless = scheme_times(pm, procs, CkptScheme::kLossless, r_lossless);
+    const auto lossy = scheme_times(pm, procs, CkptScheme::kLossy, r_lossy);
+    std::printf("%-8d %-11.1f %-11.2f %-11.1f %-11.2f %-11.1f %-11.2f\n",
+                procs, trad.ckpt_seconds, trad.stage_seconds,
+                lless.ckpt_seconds, lless.stage_seconds, lossy.ckpt_seconds,
+                lossy.stage_seconds);
+  }
+  {
+    const auto lossy = scheme_times(pm, 2048, CkptScheme::kLossy, r_lossy);
+    const auto trad = scheme_times(pm, 2048, CkptScheme::kTraditional, 1.0);
+    std::printf(
+        "\nAt 2,048 ranks the async pipeline cuts the blocking cost "
+        "%.0fx (traditional) and %.0fx (lossy) vs the paper's synchronous "
+        "writes; drains of %.1f s / %.1f s overlap iterations.\n",
+        trad.ckpt_seconds / trad.stage_seconds,
+        lossy.ckpt_seconds / lossy.stage_seconds, trad.ckpt_seconds,
+        lossy.ckpt_seconds);
+  }
+
   std::printf("\n%s\n", paper_note.c_str());
   return 0;
 }

@@ -1,0 +1,78 @@
+#include "ckpt/async_writer.hpp"
+
+namespace lck {
+
+AsyncCheckpointWriter::AsyncCheckpointWriter()
+    : worker_([this] { worker_loop(); }) {}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void AsyncCheckpointWriter::submit(int version, Job job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    require(!done_.contains(version),
+            "async writer: version already has an unfetched result");
+    for (const auto& [v, j] : queue_)
+      require(v != version, "async writer: version already queued");
+    queue_.emplace_back(version, std::move(job));
+  }
+  cv_.notify_all();
+}
+
+CheckpointRecord AsyncCheckpointWriter::wait(int version) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_.contains(version); });
+  Outcome outcome = std::move(done_.at(version));
+  done_.erase(version);
+  if (outcome.error) std::rethrow_exception(outcome.error);
+  return outcome.record;
+}
+
+bool AsyncCheckpointWriter::finished(int version) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return done_.contains(version);
+}
+
+std::size_t AsyncCheckpointWriter::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + running_;
+}
+
+void AsyncCheckpointWriter::worker_loop() {
+  for (;;) {
+    std::pair<int, Job> next;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      // Drain every queued job before honoring stop_, so a destructor
+      // racing a submit never strands a staged snapshot.
+      if (queue_.empty()) return;
+      next = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+
+    Outcome outcome;
+    try {
+      outcome.record = next.second();
+    } catch (...) {
+      outcome.error = std::current_exception();
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      done_.emplace(next.first, std::move(outcome));
+      --running_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace lck

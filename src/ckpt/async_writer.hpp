@@ -1,0 +1,75 @@
+#pragma once
+/// \file async_writer.hpp
+/// \brief Background drain thread for the staged checkpoint pipeline.
+///
+/// The CheckpointManager stages a snapshot (fast memcpy) and hands this
+/// writer a drain job — compress the staged variables, serialize them and
+/// write the result as a *pending* store version — so the solver keeps
+/// iterating while the expensive part runs off the critical path (the
+/// FTI/SCR multilevel-checkpointing overlap the paper's Tt metric pays for
+/// synchronously). Jobs execute strictly in submission order on one worker
+/// thread; completion is observed with wait()/finished() and the commit or
+/// abort decision stays with the caller.
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ckpt/checkpoint_record.hpp"
+#include "common/types.hpp"
+
+namespace lck {
+
+class AsyncCheckpointWriter {
+ public:
+  /// A drain job: compress + serialize + write_pending, returning the
+  /// accounting record of the produced (pending) checkpoint.
+  using Job = std::function<CheckpointRecord()>;
+
+  AsyncCheckpointWriter();
+  /// Joins the worker after finishing every queued job. Results never
+  /// fetched are dropped (their pending store versions stay pending; the
+  /// owning manager aborts or commits them as it sees fit).
+  ~AsyncCheckpointWriter();
+
+  AsyncCheckpointWriter(const AsyncCheckpointWriter&) = delete;
+  AsyncCheckpointWriter& operator=(const AsyncCheckpointWriter&) = delete;
+
+  /// Enqueue the drain for `version`. Versions must be unique among jobs
+  /// whose results have not been fetched yet.
+  void submit(int version, Job job);
+
+  /// Block until `version`'s drain finishes and return its record,
+  /// rethrowing any exception the job raised. Each submitted version may be
+  /// waited on exactly once.
+  CheckpointRecord wait(int version);
+
+  /// Non-blocking probe: true once `version`'s job has run to completion.
+  [[nodiscard]] bool finished(int version) const;
+
+  /// Jobs submitted but not yet completed (queued + running).
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  struct Outcome {
+    CheckpointRecord record;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<int, Job>> queue_;
+  std::map<int, Outcome> done_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace lck

@@ -1,7 +1,9 @@
 #include "ckpt/checkpoint_manager.hpp"
 
+#include <algorithm>
 #include <optional>
 
+#include "ckpt/async_writer.hpp"
 #include "common/byte_buffer.hpp"
 #include "common/crc32.hpp"
 #include "common/timer.hpp"
@@ -16,12 +18,33 @@ enum class VarKind : std::uint8_t { kVector = 0, kBlob = 1 };
 
 }  // namespace
 
+const char* to_string(CkptMode m) noexcept {
+  switch (m) {
+    case CkptMode::kSync: return "sync";
+    case CkptMode::kAsync: return "async";
+  }
+  return "?";
+}
+
 CheckpointManager::CheckpointManager(std::unique_ptr<CheckpointStore> store,
                                      const Compressor* default_compressor)
     : store_(std::move(store)), default_compressor_(default_compressor) {
   require(store_ != nullptr, "checkpoint manager: null store");
   if (default_compressor_ == nullptr) default_compressor_ = &none_;
   next_version_ = store_->latest_version() + 1;
+}
+
+CheckpointManager::~CheckpointManager() {
+  // Versions still undecided at destruction roll back: their pending store
+  // blobs (e.g. DiskStore's .lck.pending files) must not outlive the
+  // manager, and the last *committed* version stays the recovery point.
+  const std::set<int> undecided = staged_versions_;
+  for (const int v : undecided) {
+    try {
+      abort_version(v);
+    } catch (...) {  // NOLINT: best-effort cleanup in a destructor
+    }
+  }
 }
 
 void CheckpointManager::protect(int id, std::string name, Vector* data,
@@ -40,60 +63,279 @@ void CheckpointManager::protect_blob(int id, std::string name,
 
 void CheckpointManager::unprotect(int id) { entries_.erase(id); }
 
-CheckpointRecord CheckpointManager::checkpoint() {
-  require(!entries_.empty(), "checkpoint: nothing protected");
+CheckpointRecord CheckpointManager::build_stream(
+    const std::vector<VarView>& vars, int version,
+    std::vector<byte_t>& bytes) const {
   CheckpointRecord rec;
-  rec.version = next_version_;
+  rec.version = version;
 
   ByteWriter out;
   out.put(kMagic);
   out.put(kVersion);
-  out.put(static_cast<std::uint32_t>(entries_.size()));
+  out.put(static_cast<std::uint32_t>(vars.size()));
 
   WallTimer timer;
-  for (const auto& [id, e] : entries_) {
-    out.put(static_cast<std::int32_t>(id));
-    out.put_string(e.name);
-    if (e.vec != nullptr) {
+  for (const auto& var : vars) {
+    out.put(static_cast<std::int32_t>(var.id));
+    out.put_string(*var.name);
+    if (var.vec != nullptr) {
       out.put(static_cast<std::uint8_t>(VarKind::kVector));
-      const Compressor* comp = compressor_for(e);
+      const Vector& vec = *var.vec;
+      const Compressor* comp = var.compressor;
+      const bool verbatim =
+          dynamic_cast<const NoneCompressor*>(comp) != nullptr;
       // Vectors spanning more than one block go through the parallel
       // block pipeline; the stored compressor name records the layout.
       // A registered compressor that is already a BlockCompressor is
       // used as-is — nesting would frame (and CRC) the payload twice.
+      // Verbatim ("none") vectors skip the pipeline too: there is nothing
+      // to parallelize about a memcpy.
       std::optional<BlockCompressor> blk;
-      if (block_elems_ > 0 && e.vec->size() > block_elems_ &&
+      if (!verbatim && block_elems_ > 0 && vec.size() > block_elems_ &&
           dynamic_cast<const BlockCompressor*>(comp) == nullptr)
         blk.emplace(comp, block_elems_);
       if (blk) comp = &*blk;
       out.put_string(comp->name());
-      out.put(static_cast<std::uint64_t>(e.vec->size()));
-      const auto payload = comp->compress(*e.vec);
-      rec.raw_bytes += e.vec->size() * sizeof(double);
-      rec.per_var_bytes[e.name] = payload.size();
-      out.put(static_cast<std::uint64_t>(payload.size()));
-      out.put(crc32(payload));
-      out.put_bytes(payload);
+      out.put(static_cast<std::uint64_t>(vec.size()));
+      rec.raw_bytes += vec.size() * sizeof(double);
+      if (verbatim) {
+        // Fast path: emit the NoneCompressor stream layout directly into
+        // the checkpoint buffer instead of round-tripping the vector
+        // through an intermediate payload allocation.
+        ByteWriter header(NoneCompressor::kHeaderBytes);
+        header.put(NoneCompressor::kMagic);
+        header.put(static_cast<std::uint64_t>(vec.size()));
+        const std::span<const byte_t> raw{
+            reinterpret_cast<const byte_t*>(vec.data()),
+            vec.size() * sizeof(double)};
+        Crc32 crc;
+        crc.update(header.view());
+        crc.update(raw);
+        const std::size_t payload_size = header.size() + raw.size();
+        rec.per_var_bytes[*var.name] = payload_size;
+        out.put(static_cast<std::uint64_t>(payload_size));
+        out.put(crc.value());
+        out.put_bytes(header.view());
+        out.put_bytes(raw);
+      } else {
+        const auto payload = comp->compress(vec);
+        rec.per_var_bytes[*var.name] = payload.size();
+        out.put(static_cast<std::uint64_t>(payload.size()));
+        out.put(crc32(payload));
+        out.put_bytes(payload);
+      }
     } else {
       out.put(static_cast<std::uint8_t>(VarKind::kBlob));
       out.put_string("none");
-      out.put(static_cast<std::uint64_t>(e.blob->size()));
-      rec.raw_bytes += e.blob->size();
-      rec.per_var_bytes[e.name] = e.blob->size();
-      out.put(static_cast<std::uint64_t>(e.blob->size()));
-      out.put(crc32(*e.blob));
-      out.put_bytes(*e.blob);
+      out.put(static_cast<std::uint64_t>(var.blob->size()));
+      rec.raw_bytes += var.blob->size();
+      rec.per_var_bytes[*var.name] = var.blob->size();
+      out.put(static_cast<std::uint64_t>(var.blob->size()));
+      out.put(crc32(*var.blob));
+      out.put_bytes(*var.blob);
     }
   }
   rec.compress_seconds = timer.seconds();
 
   rec.stored_bytes = out.size();
-  store_->write(rec.version, out.view());
-  for (int v = rec.version - retention_; v >= 0 && store_->exists(v); --v)
-    store_->remove(v);
+  bytes = std::move(out).take();
+  return rec;
+}
+
+void CheckpointManager::prune_retention(int latest_committed) {
+  // Aborted async versions leave holes in the version sequence, so scan up
+  // from the lowest possibly-live version instead of stopping at the first
+  // gap (remove() of an absent version is a cheap no-op in both stores).
+  const int keep_from = latest_committed - retention_ + 1;
+  for (int v = prune_floor_; v < keep_from; ++v) store_->remove(v);
+  // Never advance the floor past a version that is still undecided: if it
+  // commits out of order later, the prune at its commit must still be able
+  // to remove it.
+  int advance_to = keep_from;
+  if (!staged_versions_.empty())
+    advance_to = std::min(advance_to, *staged_versions_.begin());
+  prune_floor_ = std::max(prune_floor_, advance_to);
+}
+
+CheckpointRecord CheckpointManager::checkpoint() {
+  require(!entries_.empty(), "checkpoint: nothing protected");
+  std::vector<VarView> views;
+  views.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    VarView v;
+    v.id = id;
+    v.name = &e.name;
+    v.vec = e.vec;
+    v.blob = e.blob;
+    v.compressor = compressor_for(e);
+    views.push_back(v);
+  }
+  std::vector<byte_t> bytes;
+  const CheckpointRecord rec = build_stream(views, next_version_, bytes);
+  store_->write(rec.version, bytes);
+  prune_retention(rec.version);
   ++next_version_;
   return rec;
 }
+
+// ----- staged (asynchronous) pipeline ---------------------------------------
+
+int CheckpointManager::acquire_slot() {
+  std::unique_lock<std::mutex> lock(slot_mu_);
+  for (;;) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].busy) {
+        slots_[i].busy = true;
+        return static_cast<int>(i);
+      }
+    }
+    slot_cv_.wait(lock);
+  }
+}
+
+void CheckpointManager::release_slot(int slot) {
+  {
+    const std::lock_guard<std::mutex> lock(slot_mu_);
+    slots_[static_cast<std::size_t>(slot)].busy = false;
+  }
+  slot_cv_.notify_all();
+}
+
+StageTicket CheckpointManager::stage() {
+  require(!entries_.empty(), "stage: nothing protected");
+  if (writer_ == nullptr) writer_ = std::make_unique<AsyncCheckpointWriter>();
+
+  const int slot_idx = acquire_slot();
+  StagingSlot& slot = slots_[static_cast<std::size_t>(slot_idx)];
+
+  WallTimer timer;
+  StageTicket ticket;
+  ticket.version = next_version_++;
+
+  try {
+    // Copy-assign into the slot's existing StagedVars so the double buffer
+    // reuses its allocations from the previous round.
+    slot.vars.resize(entries_.size());
+    std::size_t k = 0;
+    for (const auto& [id, e] : entries_) {
+      StagedVar& sv = slot.vars[k++];
+      sv.id = id;
+      sv.name = e.name;
+      sv.compressor = compressor_for(e);
+      if (e.vec != nullptr) {
+        sv.is_vector = true;
+        sv.vec = *e.vec;
+        sv.blob.clear();
+        ticket.raw_bytes += e.vec->size() * sizeof(double);
+      } else {
+        sv.is_vector = false;
+        sv.blob = *e.blob;
+        sv.vec.clear();
+        ticket.raw_bytes += e.blob->size();
+      }
+    }
+  } catch (...) {
+    // A failed copy (e.g. bad_alloc) must not strand the slot as busy.
+    release_slot(slot_idx);
+    throw;
+  }
+  ticket.stage_seconds = timer.seconds();
+
+  const int version = ticket.version;
+  auto drain = [this, version, slot_idx] {
+    std::vector<byte_t> bytes;
+    CheckpointRecord rec;
+    try {
+      const StagingSlot& slot_ref =
+          slots_[static_cast<std::size_t>(slot_idx)];
+      std::vector<VarView> views;
+      views.reserve(slot_ref.vars.size());
+      for (const auto& sv : slot_ref.vars) {
+        VarView v;
+        v.id = sv.id;
+        v.name = &sv.name;
+        if (sv.is_vector)
+          v.vec = &sv.vec;
+        else
+          v.blob = &sv.blob;
+        v.compressor = sv.compressor;
+        views.push_back(v);
+      }
+      rec = build_stream(views, version, bytes);
+    } catch (...) {
+      // A throwing compressor must not strand the slot as busy forever.
+      release_slot(slot_idx);
+      throw;
+    }
+    // The stream owns the data now; free the slot before the (slow) store
+    // write so the solver can stage the next checkpoint meanwhile.
+    release_slot(slot_idx);
+    store_->write_pending(version, bytes);
+    return rec;
+  };
+  // Track the version before enqueueing so a failed submit can unwind
+  // completely: nothing else releases the slot once it is marked busy.
+  try {
+    staged_versions_.insert(version);
+    writer_->submit(version, std::move(drain));
+  } catch (...) {
+    staged_versions_.erase(version);
+    release_slot(slot_idx);
+    throw;
+  }
+  return ticket;
+}
+
+CheckpointRecord CheckpointManager::wait_drain(int version) {
+  // The writer surrenders each outcome once, so waiting on a version that
+  // was already committed/aborted (or never staged) would block forever —
+  // fail fast instead.
+  require(staged_versions_.contains(version),
+          "wait_drain: version is not an in-flight drain");
+  if (const auto it = drained_.find(version); it != drained_.end())
+    return it->second;
+  // The writer surrenders each outcome exactly once, so a drain that threw
+  // is remembered here — re-waiting on it would block forever.
+  if (failed_drains_.contains(version))
+    throw corrupt_stream_error("wait_drain: drain already failed for version " +
+                               std::to_string(version));
+  require(writer_ != nullptr, "wait_drain: no drain was submitted");
+  try {
+    const CheckpointRecord rec = writer_->wait(version);
+    drained_[version] = rec;
+    return rec;
+  } catch (...) {
+    failed_drains_.insert(version);
+    throw;
+  }
+}
+
+void CheckpointManager::commit_version(int version) {
+  wait_drain(version);
+  store_->commit(version);
+  drained_.erase(version);
+  staged_versions_.erase(version);
+  // Prune against the highest committed version, so an out-of-order commit
+  // of an already-superseded version retires it immediately.
+  prune_retention(store_->latest_version());
+}
+
+void CheckpointManager::abort_version(int version) {
+  require(staged_versions_.contains(version),
+          "abort_version: version is not an in-flight drain");
+  try {
+    wait_drain(version);
+  } catch (...) {
+    // The drain itself failed; there is nothing pending to drop, but the
+    // version must still be retired below.
+  }
+  store_->abort(version);
+  drained_.erase(version);
+  failed_drains_.erase(version);
+  staged_versions_.erase(version);
+}
+
+// ----------------------------------------------------------------------------
 
 CheckpointRecord CheckpointManager::recover() {
   const int version = store_->latest_version();

@@ -4,13 +4,30 @@
 ///        Protect() registers variables, Checkpoint() saves them,
 ///        Recover() restores them — with a pluggable compressor per
 ///        variable and CRC-32 integrity on every payload.
+///
+/// Two write paths share one serialization core:
+///  - checkpoint() — the synchronous path (CkptMode::kSync): compress +
+///    write + commit inline, blocking the caller for the full duration.
+///  - stage() / wait_drain() / commit_version() / abort_version() — the
+///    staged pipeline (CkptMode::kAsync): stage() memcpys the protected
+///    variables into one of two staging slots and returns immediately; a
+///    background AsyncCheckpointWriter drains the slot (compression + store
+///    write) into a *pending* store version; the caller later promotes it
+///    with commit_version() or rolls it back with abort_version(). A third
+///    stage() while both slots are busy blocks until a drain finishes
+///    (double-buffer back-pressure, matching FTI semantics).
 
+#include <array>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 
+#include "ckpt/checkpoint_record.hpp"
 #include "ckpt/checkpoint_store.hpp"
 #include "compress/block_compressor.hpp"
 #include "compress/compressor.hpp"
@@ -18,14 +35,20 @@
 
 namespace lck {
 
-/// Accounting for one checkpoint or recovery, consumed by the virtual-time
-/// PFS model (sizes) and by the real-time measurements (seconds).
-struct CheckpointRecord {
+class AsyncCheckpointWriter;
+
+/// Whether checkpoints block for the full compress+write (kSync) or only
+/// for the staging copy, draining in the background (kAsync).
+enum class CkptMode { kSync, kAsync };
+
+[[nodiscard]] const char* to_string(CkptMode m) noexcept;
+
+/// Receipt of a stage(): identifies the in-flight version and what the
+/// staging copy cost for real.
+struct StageTicket {
   int version = -1;
-  std::size_t raw_bytes = 0;         ///< Sum of uncompressed payloads.
-  std::size_t stored_bytes = 0;      ///< Bytes actually written/read.
-  double compress_seconds = 0.0;     ///< Real local (de)compression time.
-  std::map<std::string, std::size_t> per_var_bytes;  ///< Stored size by name.
+  std::size_t raw_bytes = 0;   ///< Uncompressed bytes captured in the slot.
+  double stage_seconds = 0.0;  ///< Real seconds spent on the staging memcpy.
 };
 
 /// Checkpoint manager in the style of FTI: variables are registered once
@@ -38,9 +61,10 @@ class CheckpointManager {
  public:
   /// `default_compressor` applies to every protected vector without an
   /// override; not owned, may be mutated between checkpoints (adaptive
-  /// error bounds).
+  /// error bounds) — but never while a drain is in flight.
   CheckpointManager(std::unique_ptr<CheckpointStore> store,
                     const Compressor* default_compressor);
+  ~CheckpointManager();
 
   /// FTI Protect(): register a double-vector variable under a unique id.
   /// Passing a per-variable compressor overrides the default.
@@ -54,10 +78,38 @@ class CheckpointManager {
   /// Remove a registration.
   void unprotect(int id);
 
-  /// Save all protected variables as a new checkpoint version.
+  /// Save all protected variables as a new checkpoint version
+  /// (synchronous: compress + write + commit before returning).
   CheckpointRecord checkpoint();
 
-  /// Restore all protected variables from the latest checkpoint.
+  // ----- staged (asynchronous) pipeline ------------------------------------
+
+  /// Copy all protected variables into a free staging slot and enqueue the
+  /// background drain. Returns as soon as the copy is done; blocks only if
+  /// both staging slots hold unfinished drains (back-pressure).
+  StageTicket stage();
+
+  /// Block until `version`'s drain (compression + pending store write) has
+  /// finished and return its record. Idempotent until the version is
+  /// committed or aborted. Rethrows any drain-side exception.
+  CheckpointRecord wait_drain(int version);
+
+  /// Promote a drained version to committed and prune per retention.
+  void commit_version(int version);
+
+  /// Roll back a staged/drained version (failure during the drain window):
+  /// the pending store blob is dropped and recover() keeps using the last
+  /// committed version.
+  void abort_version(int version);
+
+  /// Drains submitted but not yet committed/aborted.
+  [[nodiscard]] int versions_in_flight() const noexcept {
+    return static_cast<int>(staged_versions_.size());
+  }
+
+  // --------------------------------------------------------------------------
+
+  /// Restore all protected variables from the latest committed checkpoint.
   /// Vectors are resized to the checkpointed length.
   CheckpointRecord recover();
 
@@ -87,7 +139,8 @@ class CheckpointManager {
   /// CRC-32, any scheme). 0 disables. Default: BlockCompressor's block size,
   /// so large production vectors get the parallel path automatically while
   /// small ones keep the single-shot stream. Recovery reads whichever layout
-  /// the stored checkpoint used, so this can change between runs.
+  /// the stored checkpoint used, so this can change between runs. Must not
+  /// change while a drain is in flight.
   void set_block_pipeline(std::size_t block_elems) noexcept {
     block_elems_ = block_elems;
   }
@@ -105,9 +158,46 @@ class CheckpointManager {
     const Compressor* compressor = nullptr;  // null => manager default
   };
 
+  /// One variable captured in a staging slot (owning copies, so the live
+  /// solver state can keep mutating while the drain compresses).
+  struct StagedVar {
+    int id = 0;
+    std::string name;
+    bool is_vector = false;
+    Vector vec;
+    std::vector<byte_t> blob;
+    const Compressor* compressor = nullptr;  // effective (resolved) compressor
+  };
+
+  /// Double-buffered staging area: one slot drains while the other stages.
+  struct StagingSlot {
+    std::vector<StagedVar> vars;
+    bool busy = false;
+  };
+
+  /// Borrowed view of one variable for the shared serializer. Sync points
+  /// it at the live protected data, async at a staging slot.
+  struct VarView {
+    int id = 0;
+    const std::string* name = nullptr;
+    const Vector* vec = nullptr;
+    const std::vector<byte_t>* blob = nullptr;
+    const Compressor* compressor = nullptr;
+  };
+
   [[nodiscard]] const Compressor* compressor_for(const Entry& e) const {
     return e.compressor != nullptr ? e.compressor : default_compressor_;
   }
+
+  /// Serialize one snapshot into the checkpoint stream format. Shared by
+  /// the sync path and the background drain, so the two modes produce
+  /// byte-identical streams for identical variable values.
+  CheckpointRecord build_stream(const std::vector<VarView>& vars, int version,
+                                std::vector<byte_t>& bytes) const;
+
+  void prune_retention(int latest_committed);
+  int acquire_slot();              ///< Blocks until a staging slot is free.
+  void release_slot(int slot);
 
   std::unique_ptr<CheckpointStore> store_;
   const Compressor* default_compressor_;
@@ -115,8 +205,22 @@ class CheckpointManager {
   std::map<int, Entry> entries_;
   int next_version_ = 0;
   int retention_ = 1;
+  int prune_floor_ = 0;  ///< Versions below this are already pruned.
   std::size_t block_elems_ = BlockCompressor::kDefaultBlockElems;
   bool recovery_pending_ = false;
+
+  // Async pipeline state. The writer thread is created on first stage(), so
+  // purely synchronous users never spawn a thread.
+  std::array<StagingSlot, 2> slots_;
+  std::mutex slot_mu_;
+  std::condition_variable slot_cv_;
+  std::map<int, CheckpointRecord> drained_;  ///< wait_drain() results cache.
+  std::set<int> failed_drains_;  ///< Versions whose drain threw (awaiting abort).
+  std::set<int> staged_versions_;  ///< stage()d, not yet committed/aborted.
+  // Declared last: drain jobs touch the slots, the slot mutex and the
+  // store, so the worker must join (writer destruction) before any of them
+  // is torn down.
+  std::unique_ptr<AsyncCheckpointWriter> writer_;
 };
 
 }  // namespace lck

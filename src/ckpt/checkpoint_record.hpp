@@ -1,0 +1,21 @@
+#pragma once
+/// \file checkpoint_record.hpp
+/// \brief Accounting record shared by the sync and async checkpoint paths.
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace lck {
+
+/// Accounting for one checkpoint or recovery, consumed by the virtual-time
+/// PFS model (sizes) and by the real-time measurements (seconds).
+struct CheckpointRecord {
+  int version = -1;
+  std::size_t raw_bytes = 0;         ///< Sum of uncompressed payloads.
+  std::size_t stored_bytes = 0;      ///< Bytes actually written/read.
+  double compress_seconds = 0.0;     ///< Real local (de)compression time.
+  std::map<std::string, std::size_t> per_var_bytes;  ///< Stored size by name.
+};
+
+}  // namespace lck

@@ -8,6 +8,36 @@ namespace lck {
 
 namespace fs = std::filesystem;
 
+// ----- CheckpointStore default pending implementation -----------------------
+
+void CheckpointStore::write_pending(int version, std::span<const byte_t> data) {
+  const std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_[version].assign(data.begin(), data.end());
+}
+
+void CheckpointStore::commit(int version) {
+  std::vector<byte_t> data;
+  {
+    const std::lock_guard<std::mutex> lock(pending_mu_);
+    const auto it = pending_.find(version);
+    require(it != pending_.end(), "checkpoint store: commit of a version "
+                                  "without a pending write");
+    data = std::move(it->second);
+    pending_.erase(it);
+  }
+  write(version, data);
+}
+
+void CheckpointStore::abort(int version) {
+  const std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.erase(version);
+}
+
+bool CheckpointStore::has_pending(int version) const {
+  const std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_.contains(version);
+}
+
 // ----- MemoryStore ----------------------------------------------------------
 
 void MemoryStore::write(int version, std::span<const byte_t> data) {
@@ -36,10 +66,25 @@ int MemoryStore::latest_version() const {
 
 DiskStore::DiskStore(std::string directory) : dir_(std::move(directory)) {
   fs::create_directories(dir_);
+  // A .lck.pending file is by definition an uncommitted leftover (the
+  // process died between write_pending and commit); sweep them on open so
+  // crashed runs cannot accumulate full-size orphan blobs. The directory
+  // is owned by one store at a time.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("ckpt_") && name.ends_with(".lck.pending")) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+    }
+  }
 }
 
 std::string DiskStore::path_for(int version) const {
   return dir_ + "/ckpt_" + std::to_string(version) + ".lck";
+}
+
+std::string DiskStore::pending_path_for(int version) const {
+  return path_for(version) + ".pending";
 }
 
 void DiskStore::write(int version, std::span<const byte_t> data) {
@@ -83,6 +128,7 @@ int DiskStore::latest_version() const {
   if (!fs::exists(dir_)) return latest;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     const std::string name = entry.path().filename().string();
+    // ".lck.pending" files are staged drains, not committed checkpoints.
     if (name.starts_with("ckpt_") && name.ends_with(".lck")) {
       const std::string digits = name.substr(5, name.size() - 9);
       try {
@@ -92,6 +138,32 @@ int DiskStore::latest_version() const {
     }
   }
   return latest;
+}
+
+void DiskStore::write_pending(int version, std::span<const byte_t> data) {
+  const std::string pending_path = pending_path_for(version);
+  std::ofstream f(pending_path, std::ios::binary | std::ios::trunc);
+  if (!f)
+    throw corrupt_stream_error("disk store: cannot open " + pending_path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f)
+    throw corrupt_stream_error("disk store: short write " + pending_path);
+}
+
+void DiskStore::commit(int version) {
+  require(has_pending(version), "checkpoint store: commit of a version "
+                                "without a pending write");
+  fs::rename(pending_path_for(version), path_for(version));
+}
+
+void DiskStore::abort(int version) {
+  std::error_code ec;
+  fs::remove(pending_path_for(version), ec);
+}
+
+bool DiskStore::has_pending(int version) const {
+  return fs::exists(pending_path_for(version));
 }
 
 }  // namespace lck

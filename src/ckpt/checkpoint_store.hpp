@@ -2,9 +2,18 @@
 /// \file checkpoint_store.hpp
 /// \brief Storage backends for checkpoint blobs: in-memory (fast experiment
 ///        loops) and on-disk with atomic commit (real persistence).
+///
+/// Versions move through a two-phase lifecycle for the asynchronous
+/// checkpoint pipeline: `write_pending()` stages a blob that is invisible to
+/// readers, then `commit()` promotes it (atomic) or `abort()` drops it.
+/// `write()` remains the one-shot synchronous path (stage + commit fused).
+/// `read()`, `exists()` and `latest_version()` only ever see committed
+/// versions, so a failure between write_pending() and commit() rolls back to
+/// the last committed checkpoint by construction.
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +24,11 @@ namespace lck {
 
 /// Abstract keyed blob store. Keys are checkpoint versions; writes must be
 /// atomic (a reader never sees a torn blob).
+///
+/// Thread-safety contract: `write_pending()` may be called from a background
+/// writer thread concurrently with committed-side reads from the owner
+/// thread. `commit()`/`abort()` for a version must not race its
+/// `write_pending()` (the async pipeline joins the drain first).
 class CheckpointStore {
  public:
   virtual ~CheckpointStore() = default;
@@ -23,8 +37,23 @@ class CheckpointStore {
   [[nodiscard]] virtual std::vector<byte_t> read(int version) const = 0;
   [[nodiscard]] virtual bool exists(int version) const = 0;
   virtual void remove(int version) = 0;
-  /// Highest stored version, or -1 when empty.
+  /// Highest *committed* stored version, or -1 when empty.
   [[nodiscard]] virtual int latest_version() const = 0;
+
+  /// Stage `data` for `version` without making it visible to readers.
+  /// Default implementation holds pending blobs in memory; backends with a
+  /// cheaper commit (e.g. DiskStore's rename) override all three.
+  virtual void write_pending(int version, std::span<const byte_t> data);
+  /// Promote a pending version to committed. Throws config_error if the
+  /// version has no pending blob.
+  virtual void commit(int version);
+  /// Drop a pending version (failure mid-drain). No-op if absent.
+  virtual void abort(int version);
+  [[nodiscard]] virtual bool has_pending(int version) const;
+
+ private:
+  mutable std::mutex pending_mu_;
+  std::map<int, std::vector<byte_t>> pending_;
 };
 
 /// RAM-backed store (default for the failure-injection experiments, where
@@ -42,7 +71,11 @@ class MemoryStore final : public CheckpointStore {
 };
 
 /// Directory-backed store. Each version is `ckpt_<version>.lck`, written to
-/// a temporary file and committed with rename() (atomic on POSIX).
+/// a temporary file and committed with rename() (atomic on POSIX). Pending
+/// versions are `ckpt_<version>.lck.pending` files, so the background drain
+/// performs the expensive write and commit() is a metadata-only rename.
+/// Opening a directory sweeps stale .lck.pending files: an uncommitted
+/// pending blob is a crashed run's leftover and must not accumulate.
 class DiskStore final : public CheckpointStore {
  public:
   explicit DiskStore(std::string directory);
@@ -53,8 +86,14 @@ class DiskStore final : public CheckpointStore {
   void remove(int version) override;
   [[nodiscard]] int latest_version() const override;
 
+  void write_pending(int version, std::span<const byte_t> data) override;
+  void commit(int version) override;
+  void abort(int version) override;
+  [[nodiscard]] bool has_pending(int version) const override;
+
  private:
   [[nodiscard]] std::string path_for(int version) const;
+  [[nodiscard]] std::string pending_path_for(int version) const;
   std::string dir_;
 };
 

@@ -12,14 +12,10 @@
 
 namespace lck {
 
-namespace {
-constexpr std::uint32_t kMagicNone = 0x454e4f4eu;  // "NONE"
-}
-
 std::vector<byte_t> NoneCompressor::compress(
     std::span<const double> data) const {
   ByteWriter out(data.size() * sizeof(double) + 16);
-  out.put(kMagicNone);
+  out.put(kMagic);
   out.put(static_cast<std::uint64_t>(data.size()));
   out.put_array(data.data(), data.size());
   return std::move(out).take();
@@ -28,7 +24,7 @@ std::vector<byte_t> NoneCompressor::compress(
 void NoneCompressor::decompress(std::span<const byte_t> stream,
                                 std::span<double> out) const {
   ByteReader in(stream);
-  if (in.get<std::uint32_t>() != kMagicNone)
+  if (in.get<std::uint32_t>() != kMagic)
     throw corrupt_stream_error("none: bad magic");
   const auto n = in.get<std::uint64_t>();
   if (n != out.size()) throw corrupt_stream_error("none: size mismatch");

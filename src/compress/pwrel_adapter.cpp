@@ -3,33 +3,15 @@
 #include <cmath>
 #include <limits>
 
-#include "common/bit_io.hpp"
 #include "common/byte_buffer.hpp"
-#include "compress/lossless/byte_codecs.hpp"
+#include "compress/exact_array.hpp"
 
 namespace lck {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4c455250u;  // "PREL"
-
-// Bitsets are RLE-compressed (sign/zero masks of solver data are nearly
-// constant, so they must not impose a per-element floor on the ratio).
-void write_bitset(ByteWriter& out, const std::vector<bool>& bits) {
-  BitWriter bw;
-  for (const bool b : bits) bw.write_bit(b ? 1u : 0u);
-  const auto rle = rle_encode(bw.finish());
-  out.put(static_cast<std::uint64_t>(rle.size()));
-  out.put_bytes(rle);
-}
-
-std::vector<bool> read_bitset(ByteReader& in, std::size_t n) {
-  const auto rle_size = in.get<std::uint64_t>();
-  const auto packed = rle_decode(in.get_bytes(rle_size), (n + 7) / 8);
-  BitReader br(packed);
-  std::vector<bool> bits(n);
-  for (std::size_t i = 0; i < n; ++i) bits[i] = br.read_bit() != 0;
-  return bits;
-}
+// "PRL2": v2 streams encode the exact array compactly (nonzero bitset +
+// nonzero values) so sparse fields are not pinned at ratio ≈ 1 by zeros.
+constexpr std::uint32_t kMagic = 0x324c5250u;
 
 }  // namespace
 
@@ -40,7 +22,7 @@ std::vector<byte_t> PointwiseRelativeAdapter::compress(
   const bool exact_only = eb <= 0.0;
 
   std::vector<bool> exact_mask(n), sign_mask(n);
-  std::vector<double> logs, exact;
+  std::vector<double> logs;
   logs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double x = data[i];
@@ -48,10 +30,7 @@ std::vector<byte_t> PointwiseRelativeAdapter::compress(
                           std::fabs(x) < std::numeric_limits<double>::min();
     exact_mask[i] = is_exact;
     sign_mask[i] = std::signbit(x);
-    if (is_exact)
-      exact.push_back(x);
-    else
-      logs.push_back(std::log2(std::fabs(x)));
+    if (!is_exact) logs.push_back(std::log2(std::fabs(x)));
   }
 
   inner_->set_error_bound(
@@ -62,10 +41,11 @@ std::vector<byte_t> PointwiseRelativeAdapter::compress(
   out.put(kMagic);
   out.put(static_cast<std::uint64_t>(n));
   out.put(eb);
-  write_bitset(out, exact_mask);
-  write_bitset(out, sign_mask);
-  out.put(static_cast<std::uint64_t>(exact.size()));
-  out.put_array(exact.data(), exact.size());
+  write_rle_bitset(out, exact_mask);
+  write_rle_bitset(out, sign_mask);
+  // Compact exact array (see exact_array.hpp): zeros cost ~0 bits, so
+  // sparse fields stop bottoming out at ratio ≈ 1.
+  write_exact_array(out, data, exact_mask);
   out.put(static_cast<std::uint64_t>(logs.size()));
   out.put(static_cast<std::uint64_t>(inner_stream.size()));
   out.put_bytes(inner_stream);
@@ -81,22 +61,21 @@ void PointwiseRelativeAdapter::decompress(std::span<const byte_t> stream,
   if (n != out.size()) throw corrupt_stream_error("pwrel: size mismatch");
   (void)in.get<double>();  // eb (informational)
 
-  const auto exact_mask = read_bitset(in, n);
-  const auto sign_mask = read_bitset(in, n);
-  const auto exact_count = in.get<std::uint64_t>();
-  std::vector<double> exact(exact_count);
-  in.get_array(exact.data(), exact_count);
+  const auto exact_mask = read_rle_bitset(in, n);
+  const auto sign_mask = read_rle_bitset(in, n);
+  std::size_t exact_entries = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (exact_mask[i]) ++exact_entries;
+  ExactArrayReader exact(in, exact_entries);
   const auto log_count = in.get<std::uint64_t>();
   const auto inner_size = in.get<std::uint64_t>();
   std::vector<double> logs(log_count);
   inner_->decompress(in.get_bytes(inner_size), logs);
 
-  std::size_t li = 0, ei = 0;
+  std::size_t li = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (exact_mask[i]) {
-      if (ei >= exact.size())
-        throw corrupt_stream_error("pwrel: exact stream exhausted");
-      out[i] = exact[ei++];
+      out[i] = exact.next(sign_mask[i]);
     } else {
       if (li >= logs.size())
         throw corrupt_stream_error("pwrel: log stream exhausted");

@@ -7,13 +7,16 @@
 
 #include "common/bit_io.hpp"
 #include "common/byte_buffer.hpp"
+#include "compress/exact_array.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lossless/byte_codecs.hpp"
 
 namespace lck {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x315a5331u;  // "1SZ1"
+// "2SZ1": v2 streams encode the pointwise-relative exact array compactly
+// (nonzero bitset + nonzero values) instead of 8 B per exact element.
+constexpr std::uint32_t kMagic = 0x315a5332u;
 constexpr std::uint32_t kRadius = SzLikeCompressor::kQuantRadius;
 constexpr std::uint32_t kAlphabet = 2 * kRadius;  // code 0 = unpredictable
 
@@ -146,26 +149,6 @@ std::vector<double> core_decompress(ByteReader& in, std::size_t expect_n) {
   return out;
 }
 
-/// Write a bitset of n bits, RLE-compressed: solver sign/zero masks are
-/// almost always constant, so this costs ~0 bits per element instead of 1.
-void write_bitset(ByteWriter& out, const std::vector<bool>& bits) {
-  BitWriter bw;
-  for (const bool b : bits) bw.write_bit(b ? 1u : 0u);
-  const auto packed = bw.finish();
-  const auto rle = rle_encode(packed);
-  out.put(static_cast<std::uint64_t>(rle.size()));
-  out.put_bytes(rle);
-}
-
-std::vector<bool> read_bitset(ByteReader& in, std::size_t n) {
-  const auto rle_size = in.get<std::uint64_t>();
-  const auto packed = rle_decode(in.get_bytes(rle_size), (n + 7) / 8);
-  BitReader br(packed);
-  std::vector<bool> bits(n);
-  for (std::size_t i = 0; i < n; ++i) bits[i] = br.read_bit() != 0;
-  return bits;
-}
-
 }  // namespace
 
 std::vector<byte_t> SzLikeCompressor::compress(
@@ -213,15 +196,11 @@ std::vector<byte_t> SzLikeCompressor::compress(
         sign_mask[i] = std::signbit(x);
         if (!is_zero) logs.push_back(std::log2(std::fabs(x)));
       }
-      write_bitset(out, zero_mask);
-      write_bitset(out, sign_mask);
-      // Subnormals/non-finites fall into the "exact" path via zero_mask=1 +
-      // verbatim storage below.
-      std::vector<double> exact;
-      for (std::size_t i = 0; i < n; ++i)
-        if (zero_mask[i]) exact.push_back(data[i]);
-      out.put(static_cast<std::uint64_t>(exact.size()));
-      out.put_array(exact.data(), exact.size());
+      write_rle_bitset(out, zero_mask);
+      write_rle_bitset(out, sign_mask);
+      // Compact exact array (see exact_array.hpp): zeros cost ~0 bits, so
+      // sparse fields stop bottoming out at ratio ≈ 1.
+      write_exact_array(out, data, zero_mask);
 
       // 0.999 safety factor absorbs the log2/exp2 rounding so the pointwise
       // bound |x−x'| ≤ eb·|x| holds exactly (verified by property tests).
@@ -252,20 +231,19 @@ void SzLikeCompressor::decompress(std::span<const byte_t> stream,
       break;
     }
     case ErrorBound::Mode::kPointwiseRelative: {
-      const auto zero_mask = read_bitset(in, n);
-      const auto sign_mask = read_bitset(in, n);
-      const auto exact_count = in.get<std::uint64_t>();
-      std::vector<double> exact(exact_count);
-      in.get_array(exact.data(), exact_count);
+      const auto zero_mask = read_rle_bitset(in, n);
+      const auto sign_mask = read_rle_bitset(in, n);
+      std::size_t exact_entries = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        if (zero_mask[i]) ++exact_entries;
+      ExactArrayReader exact(in, exact_entries);
       const auto log_count = in.get<std::uint64_t>();
       const auto logs = core_decompress(in, log_count);
 
-      std::size_t li = 0, ei = 0;
+      std::size_t li = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (zero_mask[i]) {
-          if (ei >= exact.size())
-            throw corrupt_stream_error("sz: exact stream exhausted");
-          out[i] = exact[ei++];
+          out[i] = exact.next(sign_mask[i]);
         } else {
           if (li >= logs.size())
             throw corrupt_stream_error("sz: log stream exhausted");

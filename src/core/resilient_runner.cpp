@@ -1,5 +1,6 @@
 #include "core/resilient_runner.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/perf_model.hpp"
@@ -97,9 +98,13 @@ void ResilientRunner::refresh_adaptive_bound() {
   lossy_->set_error_bound(ErrorBound::pointwise_rel(eb));
 }
 
-bool ResilientRunner::do_checkpoint() {
+void ResilientRunner::capture_solver_state() {
   if (cfg_.scheme == CkptScheme::kLossy) {
     refresh_adaptive_bound();
+    // x_buf_ is both the checkpointed variable and recover()'s restore
+    // target (Algorithm 2), so the lossy async path pays one extra real
+    // copy (solution -> x_buf_ -> staging slot); the virtual stage cost
+    // models a single staging copy either way.
     x_buf_ = solver_.solution();
     ByteWriter bw;
     bw.put(static_cast<std::int64_t>(solver_.iteration()));
@@ -110,6 +115,10 @@ bool ResilientRunner::do_checkpoint() {
     solver_.save_scalars(bw);
     scalar_blob_ = std::move(bw).take();
   }
+}
+
+bool ResilientRunner::do_checkpoint() {
+  capture_solver_state();
   const CheckpointRecord rec = manager_->checkpoint();
   const double duration = checkpoint_duration(rec);
 
@@ -123,12 +132,12 @@ bool ResilientRunner::do_checkpoint() {
 
   t_ += duration;
   last_ckpt_t_ = t_;
-  ckpt_iteration_ = solver_.iteration();
   stored_bytes_last_ =
       static_cast<double>(rec.stored_bytes) * cfg_.dynamic_scale;
   raw_dyn_bytes_last_ = static_cast<double>(rec.raw_bytes) * cfg_.dynamic_scale;
   ++result_.checkpoints;
   result_.ckpt_seconds_total += duration;
+  committed_blocking_total_ += duration;
   result_.mean_ckpt_stored_bytes += (stored_bytes_last_ -
                                      result_.mean_ckpt_stored_bytes) /
                                     result_.checkpoints;
@@ -139,7 +148,133 @@ bool ResilientRunner::do_checkpoint() {
   return true;
 }
 
+// ----- async pipeline -------------------------------------------------------
+
+bool ResilientRunner::ensure_drain_record() {
+  if (pending_known_) return true;
+  // Join the background drain (real time); its *virtual* window is
+  // [drain_start_t_, drain_start_t_ + compress+write duration], entirely
+  // overlapped with the iterations the solver kept executing.
+  try {
+    pending_rec_ = manager_->wait_drain(pending_version_);
+  } catch (...) {
+    // The drain itself failed (background compressor or store error). The
+    // outcome is the same as a torn write: roll the version back and keep
+    // running against the previous committed checkpoint.
+    manager_->abort_version(pending_version_);
+    ++result_.aborted_drains;
+    pending_version_ = -1;
+    pending_known_ = false;
+    pending_blocking_ = 0.0;
+    return false;
+  }
+  drain_end_t_ = drain_start_t_ + checkpoint_duration(pending_rec_);
+  pending_known_ = true;
+  return true;
+}
+
+void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
+  if (!ensure_drain_record()) return;  // failed drain already rolled back
+  manager_->commit_version(pending_version_);
+  stored_bytes_last_ =
+      static_cast<double>(pending_rec_.stored_bytes) * cfg_.dynamic_scale;
+  raw_dyn_bytes_last_ =
+      static_cast<double>(pending_rec_.raw_bytes) * cfg_.dynamic_scale;
+  ++result_.checkpoints;
+  result_.ckpt_drain_seconds_total += overlapped_drain_seconds;
+  committed_blocking_total_ += pending_blocking_;
+  result_.mean_ckpt_stored_bytes += (stored_bytes_last_ -
+                                     result_.mean_ckpt_stored_bytes) /
+                                    result_.checkpoints;
+  if (pending_rec_.stored_bytes > 0)
+    result_.compression_ratio =
+        static_cast<double>(pending_rec_.raw_bytes) /
+        static_cast<double>(pending_rec_.stored_bytes);
+  pending_version_ = -1;
+  pending_known_ = false;
+  pending_blocking_ = 0.0;
+}
+
+void ResilientRunner::settle_pending_at_failure() {
+  if (pending_version_ < 0) return;
+  if (!ensure_drain_record()) return;  // failed drain already rolled back
+  if (t_ <= drain_end_t_) {
+    // The failure struck while the drain was still writing: the pending
+    // version is torn and recovery must use the previous committed one.
+    manager_->abort_version(pending_version_);
+    ++result_.aborted_drains;
+    pending_version_ = -1;
+    pending_known_ = false;
+  } else {
+    // The drain had already finished when the failure struck; all of it
+    // ran concurrently with iterations.
+    commit_pending(drain_end_t_ - drain_start_t_);
+  }
+}
+
+void ResilientRunner::finish_pending_at_exit() {
+  if (pending_version_ < 0) return;
+  // The solver converged while the last drain was still in flight. The
+  // application is done; the drain completes harmlessly in the background
+  // (a failure after convergence rolls nothing back), so commit it without
+  // extending the virtual clock. Only the part of the drain that ran
+  // before convergence overlapped iterations; the tail past t_ did not.
+  if (!ensure_drain_record()) return;  // failed drain already rolled back
+  commit_pending(std::min(drain_end_t_, t_) - drain_start_t_);
+}
+
+bool ResilientRunner::do_stage() {
+  // Back-pressure (FTI semantics): a new checkpoint may not stage while the
+  // previous drain is unfinished — the wait blocks the virtual clock.
+  if (pending_version_ >= 0 && ensure_drain_record()) {
+    // The drain work done up to this request ran overlapped; any remainder
+    // is back-pressure the solver pays for as blocking time.
+    const double overlapped =
+        std::min(drain_end_t_, t_) - drain_start_t_;
+    if (drain_end_t_ > t_) {
+      const double wait = drain_end_t_ - t_;
+      if (injector_.interrupts(t_, wait)) {
+        t_ = injector_.next_failure_time();
+        handle_failure();  // aborts the pending drain (t_ <= drain end)
+        return false;
+      }
+      t_ += wait;
+      result_.ckpt_seconds_total += wait;
+      result_.backpressure_seconds_total += wait;
+      pending_blocking_ += wait;  // charged to the drain being waited on
+    }
+    commit_pending(overlapped);
+  }
+
+  capture_solver_state();
+  const StageTicket ticket = manager_->stage();
+  const double stage_duration = cfg_.cluster.stage_seconds(
+      static_cast<double>(ticket.raw_bytes) * cfg_.dynamic_scale);
+
+  if (injector_.interrupts(t_, stage_duration)) {
+    // Failure mid-stage: the node-local snapshot is torn, so the version is
+    // rolled back before it could ever become a recovery point.
+    manager_->abort_version(ticket.version);
+    ++result_.aborted_drains;
+    t_ = injector_.next_failure_time();
+    handle_failure();
+    return false;
+  }
+
+  t_ += stage_duration;
+  last_ckpt_t_ = t_;
+  result_.ckpt_seconds_total += stage_duration;
+  pending_version_ = ticket.version;
+  pending_known_ = false;
+  pending_blocking_ = stage_duration;
+  drain_start_t_ = t_;
+  return true;
+}
+
+// ----------------------------------------------------------------------------
+
 void ResilientRunner::handle_failure() {
+  settle_pending_at_failure();
   ++result_.failures;
   injector_.arm(t_);
 
@@ -184,6 +319,7 @@ void ResilientRunner::handle_failure() {
 }
 
 ResilienceResult ResilientRunner::run() {
+  const bool async = cfg_.ckpt_mode == CkptMode::kAsync;
   while (!solver_.converged() && result_.executed_steps < cfg_.max_steps) {
     // Failure strictly inside the next iteration's window?
     if (injector_.interrupts(t_, cfg_.iteration_seconds)) {
@@ -196,9 +332,14 @@ ResilienceResult ResilientRunner::run() {
     t_ += cfg_.iteration_seconds;
 
     if (!solver_.converged() &&
-        t_ - last_ckpt_t_ >= cfg_.ckpt_interval_seconds)
-      do_checkpoint();
+        t_ - last_ckpt_t_ >= cfg_.ckpt_interval_seconds) {
+      if (async)
+        do_stage();
+      else
+        do_checkpoint();
+    }
   }
+  finish_pending_at_exit();
 
   result_.converged = solver_.converged();
   result_.convergence_iteration = solver_.iteration();
@@ -206,7 +347,7 @@ ResilienceResult ResilientRunner::run() {
   result_.virtual_seconds = t_;
   if (result_.checkpoints > 0)
     result_.mean_ckpt_seconds =
-        result_.ckpt_seconds_total / result_.checkpoints;
+        committed_blocking_total_ / result_.checkpoints;
   if (result_.recoveries > 0)
     result_.mean_recovery_seconds =
         result_.recovery_seconds_total / result_.recoveries;

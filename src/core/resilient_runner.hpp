@@ -9,6 +9,16 @@
 /// real; wall-clock time is accumulated on a virtual clock using the
 /// calibrated ClusterModel, so cluster-scale results (paper §5.4) are
 /// reproducible on one node. See DESIGN.md §5 for the rationale.
+///
+/// Checkpoint modes (ResilienceConfig::ckpt_mode):
+///  - CkptMode::kSync — the paper's setting: the solver stops for the full
+///    compress + PFS-write duration of every checkpoint.
+///  - CkptMode::kAsync — staged pipeline: only the node-local staging copy
+///    blocks the virtual clock; the drain (compression + PFS write) overlaps
+///    subsequent iterations. A failure inside the drain window aborts the
+///    pending version and recovery falls back to the previous *committed*
+///    checkpoint; a checkpoint request while the previous drain is still in
+///    flight back-pressures until it commits.
 
 #include <memory>
 #include <string>
@@ -27,6 +37,9 @@ enum class CkptScheme { kTraditional, kLossless, kLossy };
 
 struct ResilienceConfig {
   CkptScheme scheme = CkptScheme::kLossy;
+
+  /// Synchronous (paper) or staged/overlapped checkpoint writes.
+  CkptMode ckpt_mode = CkptMode::kSync;
 
   /// Compressor names (see make_compressor) for the two compressed schemes.
   std::string lossless_compressor = "deflate";
@@ -81,9 +94,25 @@ struct ResilienceResult {
   int failures = 0;
   int checkpoints = 0;
   int recoveries = 0;
+  /// Async only: staged versions rolled back because a failure struck
+  /// before their drain committed.
+  int aborted_drains = 0;
 
+  /// Virtual seconds the solver was *blocked* by checkpointing: the full
+  /// compress+write in sync mode; staging copies plus back-pressure waits
+  /// in async mode.
   double ckpt_seconds_total = 0.0;
+  /// Async only: drain seconds (compression + PFS write) that actually ran
+  /// overlapped with iterations — off the critical path, not part of
+  /// virtual_seconds. The back-pressured tail of a drain counts toward
+  /// ckpt_seconds_total/backpressure_seconds_total instead, never here.
+  double ckpt_drain_seconds_total = 0.0;
+  /// Async only: portion of ckpt_seconds_total spent stalled because a new
+  /// checkpoint was requested while the previous drain was still in flight.
+  double backpressure_seconds_total = 0.0;
   double recovery_seconds_total = 0.0;
+  /// Mean blocking seconds per *committed* checkpoint (excludes the staging
+  /// cost of later-aborted versions, which stays in ckpt_seconds_total).
   double mean_ckpt_seconds = 0.0;
   double mean_recovery_seconds = 0.0;
 
@@ -107,7 +136,19 @@ class ResilientRunner {
   [[nodiscard]] double recovery_duration(double stored_bytes,
                                          double raw_dynamic_bytes) const;
   void refresh_adaptive_bound();
-  bool do_checkpoint();   ///< Returns false if a failure interrupted it.
+  void capture_solver_state();  ///< Copy x / scalars into protected buffers.
+  bool do_checkpoint();   ///< Sync path. Returns false if a failure hit it.
+  bool do_stage();        ///< Async path. Returns false if a failure hit it.
+  /// Join the drain and fix its virtual window. Returns false if the drain
+  /// itself failed (background compressor/store error): the pending version
+  /// is then aborted like a torn write and the caller must not commit it.
+  [[nodiscard]] bool ensure_drain_record();
+  /// Promote the drained version; `overlapped_drain_seconds` is the part of
+  /// its drain window that ran concurrently with iterations (the rest, if
+  /// any, was back-pressure and is charged as blocking time by the caller).
+  void commit_pending(double overlapped_drain_seconds);
+  void settle_pending_at_failure();  ///< Commit or abort at failure time t_.
+  void finish_pending_at_exit();     ///< Commit the tail drain on run end.
   void handle_failure();
 
   IterativeSolver& solver_;
@@ -118,15 +159,23 @@ class ResilientRunner {
 
   Vector x_buf_;                   // lossy scheme: checkpointed copy of x
   std::vector<byte_t> scalar_blob_;  // traditional/lossless scalar state
-  index_t ckpt_iteration_ = 0;     // solver iteration at the last checkpoint
-  std::vector<byte_t> iter_blob_;  // serialized ckpt_iteration_ (lossy path)
+  std::vector<byte_t> iter_blob_;  // serialized solver iteration (lossy path)
 
   FailureInjector injector_;
   double t_ = 0.0;                 // virtual clock
   double last_ckpt_t_ = 0.0;
   ResilienceResult result_;
-  double stored_bytes_last_ = 0.0;  // cluster-scale stored size of last ckpt
-  double raw_dyn_bytes_last_ = 0.0;
+  double stored_bytes_last_ = 0.0;  // cluster-scale stored size of last
+  double raw_dyn_bytes_last_ = 0.0;  // *committed* checkpoint
+
+  // Async pipeline: the drain in flight, if any.
+  int pending_version_ = -1;
+  bool pending_known_ = false;       // drain joined, record + window fixed
+  double drain_start_t_ = 0.0;
+  double drain_end_t_ = 0.0;
+  double pending_blocking_ = 0.0;    // blocking seconds of the pending ckpt
+  double committed_blocking_total_ = 0.0;  // numerator of mean_ckpt_seconds
+  CheckpointRecord pending_rec_{};
 };
 
 }  // namespace lck

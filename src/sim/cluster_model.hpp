@@ -32,6 +32,11 @@ struct ClusterModel {
   /// block independently).
   double lossless_compress_bw_per_rank = 60.0e6;
   double lossless_decompress_bw_per_rank = 200.0e6;
+  /// Local staging copy for the async pipeline (FTI L1-style: each rank
+  /// snapshots its protected state into node-local memory/SSD before the
+  /// background drain to the PFS). Node-local, so it scales with ranks.
+  double stage_bw_per_rank = 1.0e9;  ///< bytes/s/rank memcpy-class copy.
+  double stage_latency = 0.05;       ///< Fixed per-stage seconds (barrier).
 
   /// Seconds to write `bytes` to the PFS.
   [[nodiscard]] double write_seconds(double bytes) const noexcept {
@@ -57,6 +62,12 @@ struct ClusterModel {
   [[nodiscard]] double lossless_decompress_seconds(double bytes) const noexcept {
     return bytes /
            (lossless_decompress_bw_per_rank * ranks * parallel_efficiency);
+  }
+  /// Seconds to stage `bytes` of raw state into the node-local double
+  /// buffer — the only part of an async checkpoint that blocks the solver.
+  [[nodiscard]] double stage_seconds(double bytes) const noexcept {
+    return stage_latency +
+           bytes / (stage_bw_per_rank * ranks * parallel_efficiency);
   }
 
   /// Model with the same per-rank characteristics at a different scale

@@ -65,4 +65,19 @@ double expected_total_seconds(double n_iters, double t_it, double t_ckp,
   return n_iters * t_it / (1.0 - f);
 }
 
+double async_blocking_seconds(double t_stage, double t_drain,
+                              double interval_seconds) noexcept {
+  return t_stage + std::max(0.0, t_drain - interval_seconds);
+}
+
+double expected_overhead_ratio_async(double t_stage, double t_drain,
+                                     double lambda,
+                                     double interval_seconds) noexcept {
+  const double t_blk =
+      async_blocking_seconds(t_stage, t_drain, interval_seconds);
+  const double f = overhead_kernel(t_blk, lambda) + lambda * t_drain;
+  if (f >= 1.0) return std::numeric_limits<double>::infinity();
+  return f / (1.0 - f);
+}
+
 }  // namespace lck

@@ -68,4 +68,22 @@ struct StationaryBound {
                                             double t_ckp, double lambda,
                                             double n_prime = 0.0) noexcept;
 
+// ----- overlap-aware model for the staged (async) checkpoint pipeline ------
+
+/// Solver-blocking seconds per checkpoint under the staged pipeline: the
+/// staging copy always blocks, and when the background drain (compression +
+/// PFS write) takes longer than the checkpoint interval, the excess
+/// back-pressures the next stage() (FTI semantics).
+[[nodiscard]] double async_blocking_seconds(double t_stage, double t_drain,
+                                            double interval_seconds) noexcept;
+
+/// Expected fault-tolerance overhead ratio for the staged pipeline: the
+/// Eq. 5 kernel evaluated on the *blocking* cost, plus λ·t_drain rollback
+/// exposure — a failure inside the drain window aborts the pending version
+/// and recovers from the previous committed checkpoint, losing up to one
+/// extra interval of work.
+[[nodiscard]] double expected_overhead_ratio_async(
+    double t_stage, double t_drain, double lambda,
+    double interval_seconds) noexcept;
+
 }  // namespace lck

@@ -142,5 +142,45 @@ TEST(ExpectedTotal, MatchesOverheadDecomposition) {
   EXPECT_NEAR(total, n * t_it * (1.0 + overhead), 1e-6 * total);
 }
 
+// ----- overlap-aware async pipeline model -----------------------------------
+
+TEST(AsyncBlocking, StageOnlyWhenDrainFitsInterval) {
+  // Drain shorter than the checkpoint interval: only the stage blocks.
+  EXPECT_DOUBLE_EQ(async_blocking_seconds(0.5, 100.0, 420.0), 0.5);
+}
+
+TEST(AsyncBlocking, BackpressureWhenDrainOutlivesInterval) {
+  // Drain 500 s against a 420 s interval: 80 s of back-pressure on top of
+  // the stage cost.
+  EXPECT_DOUBLE_EQ(async_blocking_seconds(0.5, 500.0, 420.0), 80.5);
+}
+
+TEST(AsyncOverhead, BeatsSyncWhenStageIsCheap) {
+  // Paper-scale numbers: 120 s sync checkpoint, 1 s stage, MTTI 1 h.
+  const double lambda = 1.0 / 3600.0;
+  const double sync = expected_overhead_ratio(120.0, lambda);
+  const double async = expected_overhead_ratio_async(1.0, 120.0, lambda, 420.0);
+  EXPECT_LT(async, sync);
+}
+
+TEST(AsyncOverhead, ReducesTowardSyncAsStageApproachesDrain) {
+  // When staging costs as much as the full drain (no overlap win), the
+  // async model must not claim an advantage.
+  const double lambda = 1.0 / 3600.0;
+  const double sync = expected_overhead_ratio(120.0, lambda);
+  const double async_degenerate =
+      expected_overhead_ratio_async(120.0, 120.0, lambda, 420.0);
+  EXPECT_GE(async_degenerate, sync);
+}
+
+TEST(AsyncOverhead, MonotonicInDrainExposure) {
+  const double lambda = 1.0 / 3600.0;
+  const double short_drain =
+      expected_overhead_ratio_async(1.0, 60.0, lambda, 420.0);
+  const double long_drain =
+      expected_overhead_ratio_async(1.0, 240.0, lambda, 420.0);
+  EXPECT_LT(short_drain, long_drain);
+}
+
 }  // namespace
 }  // namespace lck

@@ -225,6 +225,34 @@ TEST(SzRobustness, SizeMismatchThrows) {
   EXPECT_THROW(c.decompress(stream, out), corrupt_stream_error);
 }
 
+TEST(SzPointwiseRelative, SparseFieldCompressesFarBeyondOne) {
+  // Regression for the ROADMAP open item: zeros used to be stored verbatim
+  // (8 B each), pinning sparse fields at ratio ≈ 1. With the compact exact
+  // encoding they cost ~0 bits, so a 98%-zero field compresses massively.
+  SzLikeCompressor c(ErrorBound::pointwise_rel(1e-4));
+  Rng rng(31);
+  Vector in(1u << 16, 0.0);
+  for (std::size_t i = 0; i < in.size() / 50; ++i)
+    in[rng.uniform_index(in.size())] = rng.uniform(-5.0, 5.0);
+  EXPECT_GT(compression_ratio(c, in), 10.0);
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), 1e-4 * std::fabs(in[i]))
+        << "index " << i;
+}
+
+TEST(SzPointwiseRelative, SignedZerosSurviveBitExactly) {
+  SzLikeCompressor c(ErrorBound::pointwise_rel(1e-3));
+  Vector in{0.0, -0.0, 1.25, -0.0, 0.0, -3.5, 0.0};
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == 0.0) {
+      ASSERT_EQ(std::signbit(out[i]), std::signbit(in[i])) << "index " << i;
+      ASSERT_EQ(out[i], 0.0) << "index " << i;
+    }
+  }
+}
+
 TEST(SzConfig, ErrorBoundIsMutable) {
   SzLikeCompressor c(ErrorBound::pointwise_rel(1e-4));
   c.set_error_bound(ErrorBound::pointwise_rel(1e-2));

@@ -160,6 +160,21 @@ TEST_P(PwRelAdapterBound, PaperBoundHoldsThroughZfp) {
 INSTANTIATE_TEST_SUITE_P(Bounds, PwRelAdapterBound,
                          ::testing::Values(1e-3, 1e-4, 1e-6));
 
+TEST(PwRelAdapter, SparseFieldCompressesFarBeyondOne) {
+  // Zeros are implied by the exact-nonzero bitset instead of 8 B each, so
+  // a mostly-zero field no longer bottoms out at ratio ≈ 1.
+  PointwiseRelativeAdapter c(std::make_unique<ZfpLikeCompressor>(), 1e-4);
+  Rng rng(43);
+  Vector in(1u << 16, 0.0);
+  for (std::size_t i = 0; i < in.size() / 50; ++i)
+    in[rng.uniform_index(in.size())] = rng.uniform(-5.0, 5.0);
+  EXPECT_GT(compression_ratio(c, in), 10.0);
+  const Vector out = roundtrip(c, in);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_LE(std::fabs(in[i] - out[i]), 1e-4 * std::fabs(in[i]) + 1e-300)
+        << "index " << i;
+}
+
 TEST(PwRelAdapter, NameReflectsInner) {
   PointwiseRelativeAdapter c(std::make_unique<ZfpLikeCompressor>(), 1e-4);
   EXPECT_EQ(c.name(), "pwrel+zfp");
