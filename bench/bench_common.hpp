@@ -6,8 +6,10 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compress/compressor.hpp"
@@ -25,6 +27,99 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("================================================================\n");
 }
+
+/// Machine-readable benchmark output. Every figure/table binary accepts
+/// `--json <path>`; when given, the run's key metrics are written as one
+/// JSON object (scalars plus named tables) so the perf trajectory can be
+/// tracked across commits, e.g.
+///   build/bench/fig04_jacobi_ckpt_time --json BENCH_fig04.json
+/// Without the flag the sink is disabled and every call is a no-op.
+class JsonSink {
+ public:
+  JsonSink() = default;
+
+  /// Parse `--json <path>` out of a main()'s argument list.
+  static JsonSink from_args(int argc, char** argv) {
+    JsonSink sink;
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") sink.path_ = argv[i + 1];
+    return sink;
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void scalar(const std::string& key, double value) {
+    if (!enabled()) return;
+    entries_.emplace_back(key, number(value));
+  }
+
+  void text(const std::string& key, const std::string& value) {
+    if (!enabled()) return;
+    // Appends, not operator+ chains: GCC 12's -Wrestrict misfires on the
+    // temporary-concatenation pattern (same workaround as ByteWriter).
+    std::string v;
+    v.reserve(value.size() + 2);
+    v += '"';
+    v += escape(value);
+    v += '"';
+    entries_.emplace_back(key, std::move(v));
+  }
+
+  /// A table becomes {"columns": [...], "rows": [[...], ...]}.
+  void table(const std::string& key, const std::vector<std::string>& columns,
+             const std::vector<std::vector<double>>& rows) {
+    if (!enabled()) return;
+    std::string v = "{\"columns\": [";
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      v += (c ? ", \"" : "\"") + escape(columns[c]) + "\"";
+    v += "], \"rows\": [";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      v += r ? ", [" : "[";
+      for (std::size_t c = 0; c < rows[r].size(); ++c)
+        v += (c ? ", " : "") + number(rows[r][c]);
+      v += "]";
+    }
+    v += "]}";
+    entries_.emplace_back(key, std::move(v));
+  }
+
+  /// Write the collected object; no-op while disabled. Throws on I/O error
+  /// so CI catches an unwritable path instead of silently dropping data.
+  void write() const {
+    if (!enabled()) return;
+    std::ofstream f(path_, std::ios::trunc);
+    if (!f) throw config_error("json sink: cannot open output path");
+    f << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      f << "  \"" << escape(entries_[i].first) << "\": "
+        << entries_[i].second << (i + 1 < entries_.size() ? ",\n" : "\n");
+    f << "}\n";
+    if (!f) throw config_error("json sink: short write");
+  }
+
+ private:
+  static std::string number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    std::string s{buf};
+    // JSON has no inf/nan literals; encode them as null.
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos)
+      return "null";
+    return s;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Mean compression ratio of a method's solution vector sampled at several
 /// points along its convergence trajectory (the paper's checkpoints cover

@@ -4,11 +4,12 @@
 
 #include "fig_ckpt_time.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return lck::bench::run_ckpt_time_figure(
       "jacobi", 16, "4",
       "Paper shape: all three grow ~linearly with ranks; lossless gets a "
       "real win on Jacobi's smooth vectors (~6x), lossy stays lowest "
       "(~20-40s at 2,048 ranks vs ~100s traditional); recovery slightly "
-      "exceeds checkpointing because static state is reconstructed.");
+      "exceeds checkpointing because static state is reconstructed.",
+      argc, argv);
 }

@@ -3,10 +3,10 @@
 
 #include "fig_ckpt_time.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return lck::bench::run_ckpt_time_figure(
       "gmres", 16, "5",
       "Paper shape: lossless barely beats traditional on Krylov iterate "
       "data (ratio ~1.2), while lossy cuts the 120 s checkpoint to ~25 s "
-      "at 2,048 ranks — the paper's Theorem 1 worked example.");
+      "at 2,048 ranks — the paper's Theorem 1 worked example.", argc, argv);
 }

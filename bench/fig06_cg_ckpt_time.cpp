@@ -7,10 +7,11 @@
 
 #include "fig_ckpt_time.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return lck::bench::run_ckpt_time_figure(
       "cg", 20, "6",
       "Paper shape: traditional/lossless carry 2 vectors (x and p) so their "
       "curves sit ~2x above the GMRES ones; lossy checkpoints only x, "
-      "giving the largest relative reduction of the three methods.");
+      "giving the largest relative reduction of the three methods.",
+      argc, argv);
 }

@@ -10,20 +10,30 @@
 namespace lck::bench {
 
 /// `grid` sizes the local stand-in problem used to measure compression
-/// ratios; `figure` and `paper_note` label the output.
+/// ratios; `figure` and `paper_note` label the output. Pass main()'s
+/// argc/argv through so `--json <path>` emits the machine-readable tables.
 inline int run_ckpt_time_figure(const std::string& method, index_t grid,
                                 const std::string& figure,
-                                const std::string& paper_note) {
+                                const std::string& paper_note, int argc = 0,
+                                char** argv = nullptr) {
   const PaperMethod pm = paper_method(method);
   banner("Fig. " + figure + " — " + method +
              ": time of one checkpoint / recovery vs processes",
          "Tao et al., HPDC'18, Figure " + figure);
+  JsonSink json = JsonSink::from_args(argc, argv);
 
   const MethodRatios ratios = cluster_ratios(pm, grid);
   const double r_lossless = ratios.lossless;
   const double r_lossy = ratios.lossy;
   std::printf("Measured rank-slice ratios: lossless %.2fx, lossy %.1fx\n\n",
               r_lossless, r_lossy);
+  json.text("figure", figure);
+  json.text("method", method);
+  json.scalar("ratio_lossless", r_lossless);
+  json.scalar("ratio_lossy", r_lossy);
+  const std::vector<std::string> cols{"procs", "traditional", "lossless",
+                                      "lossy"};
+  std::vector<std::vector<double>> ckpt_rows, rec_rows, blocking_rows;
 
   std::printf("(a) Checkpoint time (s)\n");
   std::printf("%-8s %-12s %-12s %-12s\n", "procs", "Traditional", "Lossless",
@@ -34,7 +44,10 @@ inline int run_ckpt_time_figure(const std::string& method, index_t grid,
     const auto lossy = scheme_times(pm, procs, CkptScheme::kLossy, r_lossy);
     std::printf("%-8d %-12.1f %-12.1f %-12.1f\n", procs, trad.ckpt_seconds,
                 lless.ckpt_seconds, lossy.ckpt_seconds);
+    ckpt_rows.push_back({static_cast<double>(procs), trad.ckpt_seconds,
+                         lless.ckpt_seconds, lossy.ckpt_seconds});
   }
+  json.table("checkpoint_seconds", cols, ckpt_rows);
 
   std::printf("\n(b) Recovery time (s)\n");
   std::printf("%-8s %-12s %-12s %-12s\n", "procs", "Traditional", "Lossless",
@@ -45,7 +58,10 @@ inline int run_ckpt_time_figure(const std::string& method, index_t grid,
     const auto lossy = scheme_times(pm, procs, CkptScheme::kLossy, r_lossy);
     std::printf("%-8d %-12.1f %-12.1f %-12.1f\n", procs, trad.recovery_seconds,
                 lless.recovery_seconds, lossy.recovery_seconds);
+    rec_rows.push_back({static_cast<double>(procs), trad.recovery_seconds,
+                        lless.recovery_seconds, lossy.recovery_seconds});
   }
+  json.table("recovery_seconds", cols, rec_rows);
 
   // Beyond the paper: the staged (async) pipeline blocks the solver only
   // for the node-local staging copy; the paper's sync checkpoint times
@@ -63,7 +79,15 @@ inline int run_ckpt_time_figure(const std::string& method, index_t grid,
                 procs, trad.ckpt_seconds, trad.stage_seconds,
                 lless.ckpt_seconds, lless.stage_seconds, lossy.ckpt_seconds,
                 lossy.stage_seconds);
+    blocking_rows.push_back({static_cast<double>(procs), trad.ckpt_seconds,
+                             trad.stage_seconds, lless.ckpt_seconds,
+                             lless.stage_seconds, lossy.ckpt_seconds,
+                             lossy.stage_seconds});
   }
+  json.table("blocking_seconds_sync_vs_async",
+             {"procs", "traditional_sync", "traditional_async",
+              "lossless_sync", "lossless_async", "lossy_sync", "lossy_async"},
+             blocking_rows);
   {
     const auto lossy = scheme_times(pm, 2048, CkptScheme::kLossy, r_lossy);
     const auto trad = scheme_times(pm, 2048, CkptScheme::kTraditional, 1.0);
@@ -77,6 +101,7 @@ inline int run_ckpt_time_figure(const std::string& method, index_t grid,
   }
 
   std::printf("\n%s\n", paper_note.c_str());
+  json.write();
   return 0;
 }
 

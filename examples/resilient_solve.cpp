@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
               "blk ckpt s", "drain s", "overhead");
   for (const CkptScheme scheme :
        {CkptScheme::kTraditional, CkptScheme::kLossless, CkptScheme::kLossy}) {
-    for (const CkptMode mode : {CkptMode::kSync, CkptMode::kAsync}) {
+    for (const CkptMode mode :
+         {CkptMode::kSync, CkptMode::kAsync, CkptMode::kTiered}) {
       auto solver = p.make_solver();
       ResilienceConfig cfg;
       cfg.scheme = scheme;
@@ -76,6 +77,10 @@ int main(int argc, char** argv) {
       "eb = 1e-4) for dramatically cheaper checkpoints (paper Theorem 1); "
       "the async pipeline then moves the remaining compress+write off the "
       "critical path, so only the staging copy ('blk ckpt s') blocks the "
-      "solver while the drain overlaps iterations.\n");
+      "solver while the drain overlaps iterations. The tiered mode drains "
+      "into a node-local L1 tier and promotes to L2 (partner) and L3 (PFS) "
+      "in the background; failures carry a severity and recover from the "
+      "cheapest surviving tier, so the common process/node failures skip "
+      "the PFS read entirely.\n");
   return 0;
 }

@@ -22,6 +22,7 @@ const char* to_string(CkptMode m) noexcept {
   switch (m) {
     case CkptMode::kSync: return "sync";
     case CkptMode::kAsync: return "async";
+    case CkptMode::kTiered: return "tiered";
   }
   return "?";
 }
@@ -49,16 +50,24 @@ CheckpointManager::~CheckpointManager() {
 
 void CheckpointManager::protect(int id, std::string name, Vector* data,
                                 const Compressor* compressor) {
-  require(data != nullptr, "protect: null variable");
+  protect(id, std::move(name), data, data, compressor);
+}
+
+void CheckpointManager::protect(int id, std::string name, const Vector* source,
+                                Vector* restore_target,
+                                const Compressor* compressor) {
+  require(source != nullptr, "protect: null source");
+  require(restore_target != nullptr, "protect: null restore target");
   require(!entries_.contains(id), "protect: id already registered");
-  entries_[id] = Entry{std::move(name), data, nullptr, compressor};
+  entries_[id] = Entry{std::move(name), source, restore_target, nullptr,
+                       compressor};
 }
 
 void CheckpointManager::protect_blob(int id, std::string name,
                                      std::vector<byte_t>* data) {
   require(data != nullptr, "protect_blob: null variable");
   require(!entries_.contains(id), "protect_blob: id already registered");
-  entries_[id] = Entry{std::move(name), nullptr, data, nullptr};
+  entries_[id] = Entry{std::move(name), nullptr, nullptr, data, nullptr};
 }
 
 void CheckpointManager::unprotect(int id) { entries_.erase(id); }
@@ -165,7 +174,7 @@ CheckpointRecord CheckpointManager::checkpoint() {
     VarView v;
     v.id = id;
     v.name = &e.name;
-    v.vec = e.vec;
+    v.vec = e.src;
     v.blob = e.blob;
     v.compressor = compressor_for(e);
     views.push_back(v);
@@ -222,11 +231,11 @@ StageTicket CheckpointManager::stage() {
       sv.id = id;
       sv.name = e.name;
       sv.compressor = compressor_for(e);
-      if (e.vec != nullptr) {
+      if (e.src != nullptr) {
         sv.is_vector = true;
-        sv.vec = *e.vec;
+        sv.vec = *e.src;
         sv.blob.clear();
-        ticket.raw_bytes += e.vec->size() * sizeof(double);
+        ticket.raw_bytes += e.src->size() * sizeof(double);
       } else {
         sv.is_vector = false;
         sv.blob = *e.blob;
@@ -372,7 +381,7 @@ CheckpointRecord CheckpointManager::recover() {
                                  std::to_string(id));
     Entry& e = it->second;
     if (kind == VarKind::kVector) {
-      require(e.vec != nullptr, "recover: kind mismatch (expected vector)");
+      require(e.dst != nullptr, "recover: kind mismatch (expected vector)");
       const Compressor* comp = compressor_for(e);
       // The stored name decides the layout: a "block+" prefix means the
       // payload is a framed block stream around the registered compressor
@@ -386,8 +395,8 @@ CheckpointRecord CheckpointManager::recover() {
             "recover: compressor mismatch for variable " + name + " (stored " +
             comp_name + ", registered " + comp->name() + ")");
       }
-      e.vec->resize(elem_count);
-      comp->decompress(payload, *e.vec);
+      e.dst->resize(elem_count);
+      comp->decompress(payload, *e.dst);
       rec.raw_bytes += elem_count * sizeof(double);
     } else {
       require(e.blob != nullptr, "recover: kind mismatch (expected blob)");

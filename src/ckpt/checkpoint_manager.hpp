@@ -37,9 +37,11 @@ namespace lck {
 
 class AsyncCheckpointWriter;
 
-/// Whether checkpoints block for the full compress+write (kSync) or only
-/// for the staging copy, draining in the background (kAsync).
-enum class CkptMode { kSync, kAsync };
+/// Whether checkpoints block for the full compress+write (kSync), only for
+/// the staging copy with the drain in the background (kAsync), or go
+/// through the multi-level hierarchy — staged L1 drain plus background
+/// L1→L2→L3 promotion and severity-aware recovery (kTiered).
+enum class CkptMode { kSync, kAsync, kTiered };
 
 [[nodiscard]] const char* to_string(CkptMode m) noexcept;
 
@@ -70,6 +72,15 @@ class CheckpointManager {
   /// Passing a per-variable compressor overrides the default.
   void protect(int id, std::string name, Vector* data,
                const Compressor* compressor = nullptr);
+
+  /// Protect with a split source/target: checkpoints read from `source`
+  /// (e.g. the solver's live solution vector — no intermediate copy), while
+  /// recover() restores into `restore_target`. Both must outlive the
+  /// registration; they may alias. `source` must not mutate during a
+  /// synchronous checkpoint() or a stage() call (the staging copy snapshots
+  /// it; afterwards it is free to change).
+  void protect(int id, std::string name, const Vector* source,
+               Vector* restore_target, const Compressor* compressor = nullptr);
 
   /// Register an opaque byte blob (solver scalar state, app metadata).
   /// Blobs are stored verbatim (never lossy).
@@ -153,8 +164,9 @@ class CheckpointManager {
  private:
   struct Entry {
     std::string name;
-    Vector* vec = nullptr;               // exactly one of vec/blob is set
-    std::vector<byte_t>* blob = nullptr;
+    const Vector* src = nullptr;  // checkpointed data (exactly one of
+    Vector* dst = nullptr;        //   src/blob is set; dst is recover()'s
+    std::vector<byte_t>* blob = nullptr;  //   target, == src unless split)
     const Compressor* compressor = nullptr;  // null => manager default
   };
 

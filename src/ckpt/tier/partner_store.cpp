@@ -1,0 +1,107 @@
+#include "ckpt/tier/partner_store.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace lck {
+
+void PartnerStore::write(int version, std::span<const byte_t> data) {
+  const std::size_t half = (data.size() + 1) / 2;
+  Shards s;
+  s.size = data.size();
+  s.piece[kLocalHalf].assign(data.begin(),
+                             data.begin() + static_cast<std::ptrdiff_t>(
+                                                std::min(half, data.size())));
+  s.piece[kLocalHalf].resize(half, byte_t{0});
+  s.piece[kPartnerHalf].assign(
+      data.begin() + static_cast<std::ptrdiff_t>(std::min(half, data.size())),
+      data.end());
+  s.piece[kPartnerHalf].resize(half, byte_t{0});
+  s.piece[kParity].resize(half);
+  for (std::size_t i = 0; i < half; ++i)
+    s.piece[kParity][i] =
+        static_cast<byte_t>(s.piece[kLocalHalf][i] ^ s.piece[kPartnerHalf][i]);
+  s.present = {true, true, true};
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  shards_[version] = std::move(s);
+}
+
+std::vector<byte_t> PartnerStore::read(int version) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(version);
+  if (it == shards_.end())
+    throw corrupt_stream_error("partner store: no checkpoint version " +
+                               std::to_string(version));
+  const Shards& s = it->second;
+  const int alive = static_cast<int>(s.present[0]) +
+                    static_cast<int>(s.present[1]) +
+                    static_cast<int>(s.present[2]);
+  if (alive < 2)
+    throw corrupt_stream_error(
+        "partner store: version " + std::to_string(version) +
+        " lost two of three pieces (unrecoverable)");
+
+  const std::size_t half = s.piece[kParity].size();
+  auto reconstruct = [&](Placement missing) {
+    const Placement a = missing == kLocalHalf ? kPartnerHalf : kLocalHalf;
+    const Placement b = missing == kParity ? kPartnerHalf : kParity;
+    std::vector<byte_t> out(half);
+    for (std::size_t i = 0; i < half; ++i)
+      out[i] = static_cast<byte_t>(s.piece[a][i] ^ s.piece[b][i]);
+    return out;
+  };
+
+  std::vector<byte_t> lo =
+      s.present[kLocalHalf] ? s.piece[kLocalHalf] : reconstruct(kLocalHalf);
+  const std::vector<byte_t> hi = s.present[kPartnerHalf]
+                                     ? s.piece[kPartnerHalf]
+                                     : reconstruct(kPartnerHalf);
+  lo.insert(lo.end(), hi.begin(), hi.end());
+  lo.resize(s.size);  // strip the padding byte of odd-length blobs
+  return lo;
+}
+
+bool PartnerStore::exists(int version) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(version);
+  if (it == shards_.end()) return false;
+  const auto& p = it->second.present;
+  return static_cast<int>(p[0]) + static_cast<int>(p[1]) +
+             static_cast<int>(p[2]) >=
+         2;
+}
+
+void PartnerStore::remove(int version) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  shards_.erase(version);
+}
+
+int PartnerStore::latest_version() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    const auto& p = it->second.present;
+    if (static_cast<int>(p[0]) + static_cast<int>(p[1]) +
+            static_cast<int>(p[2]) >=
+        2)
+      return it->first;
+  }
+  return -1;
+}
+
+void PartnerStore::fail_node(Placement placement) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [version, s] : shards_) {
+    s.piece[placement].clear();
+    s.piece[placement].shrink_to_fit();
+    s.present[placement] = false;
+  }
+}
+
+bool PartnerStore::piece_present(int version, Placement placement) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(version);
+  return it != shards_.end() && it->second.present[placement];
+}
+
+}  // namespace lck

@@ -1,0 +1,61 @@
+#pragma once
+/// \file partner_store.hpp
+/// \brief L2 "partner copy" checkpoint tier with erasure-style redundancy.
+///
+/// Models FTI's L2 scheme: each rank's checkpoint blob is split into two
+/// halves placed on the local node and a partner node, plus an XOR parity
+/// block on a second partner. Any single node loss leaves two of the three
+/// pieces, from which `read()` reconstructs the blob bit-exactly — that is
+/// what lets the L2 tier survive a `FailureSeverity::kNode` failure while
+/// the plain node-local L1 tier does not.
+///
+/// The simulation keeps all pieces in memory; `fail_node()` drops the
+/// pieces hosted on one of the three logical placements so tests (and the
+/// tiered store's severity model) can exercise the reconstruction path for
+/// real.
+
+#include <array>
+#include <map>
+#include <mutex>
+
+#include "ckpt/checkpoint_store.hpp"
+
+namespace lck {
+
+class PartnerStore final : public CheckpointStore {
+ public:
+  /// Logical placements of the three pieces of every blob.
+  enum Placement : int {
+    kLocalHalf = 0,    ///< First half, on the owning node.
+    kPartnerHalf = 1,  ///< Second half, on the partner node.
+    kParity = 2,       ///< XOR parity of the (padded) halves.
+  };
+  static constexpr int kPieces = 3;
+
+  void write(int version, std::span<const byte_t> data) override;
+  [[nodiscard]] std::vector<byte_t> read(int version) const override;
+  [[nodiscard]] bool exists(int version) const override;
+  void remove(int version) override;
+  [[nodiscard]] int latest_version() const override;
+
+  /// Drop every piece hosted on `placement` (a node loss). Committed blobs
+  /// stay readable as long as two of their three pieces survive.
+  void fail_node(Placement placement);
+
+  /// True if `version`'s piece at `placement` is still present.
+  [[nodiscard]] bool piece_present(int version, Placement placement) const;
+
+ private:
+  struct Shards {
+    /// piece[0] and piece[1] are the padded halves, piece[2] the parity;
+    /// all three have identical length ceil(size/2).
+    std::array<std::vector<byte_t>, kPieces> piece;
+    std::array<bool, kPieces> present{false, false, false};
+    std::size_t size = 0;  ///< Original blob size in bytes.
+  };
+
+  mutable std::mutex mu_;
+  std::map<int, Shards> shards_;
+};
+
+}  // namespace lck

@@ -1,0 +1,47 @@
+#pragma once
+/// \file severity.hpp
+/// \brief Failure severity classes for the multi-level checkpoint hierarchy.
+///
+/// Real resilient runtimes (FTI, VeloC/SCR) distinguish how much of the
+/// machine a failure takes down, because that decides which checkpoint tier
+/// can serve the recovery: a process crash leaves node-local state intact,
+/// a node loss destroys it but the partner copy survives, a partition loss
+/// takes the partner nodes too, and only the parallel file system survives
+/// a whole-system outage. Severities are ordered: a higher severity
+/// destroys everything a lower one does.
+
+#include <array>
+#include <cstddef>
+
+namespace lck {
+
+/// Ordered failure severities (paper-adjacent FTI L1–L4 classification).
+enum class FailureSeverity : int {
+  kProcess = 0,   ///< One rank dies; node-local storage survives.
+  kNode = 1,      ///< A node is lost with its local storage.
+  kPartition = 2, ///< A group of nodes (incl. partners) is lost.
+  kSystem = 3,    ///< Whole-system outage; only the PFS survives.
+};
+
+inline constexpr std::size_t kSeverityCount = 4;
+
+inline constexpr std::array<FailureSeverity, kSeverityCount> kAllSeverities{
+    FailureSeverity::kProcess, FailureSeverity::kNode,
+    FailureSeverity::kPartition, FailureSeverity::kSystem};
+
+[[nodiscard]] constexpr std::size_t severity_index(
+    FailureSeverity s) noexcept {
+  return static_cast<std::size_t>(s);
+}
+
+[[nodiscard]] constexpr const char* to_string(FailureSeverity s) noexcept {
+  switch (s) {
+    case FailureSeverity::kProcess: return "process";
+    case FailureSeverity::kNode: return "node";
+    case FailureSeverity::kPartition: return "partition";
+    case FailureSeverity::kSystem: return "system";
+  }
+  return "?";
+}
+
+}  // namespace lck

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/tier/tiered_store.hpp"
 #include "sim/perf_model.hpp"
 
 namespace lck {
@@ -42,19 +43,39 @@ ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
               "runner: lossy scheme requires a lossy compressor");
       break;
   }
-  manager_ = std::make_unique<CheckpointManager>(
-      std::make_unique<MemoryStore>(), compressor_.get());
+  std::unique_ptr<CheckpointStore> store;
+  if (cfg_.ckpt_mode == CkptMode::kTiered) {
+    // Canonical 3-level hierarchy with virtual-time promotion: the runner
+    // itself issues promote_now() when the simulated background channel
+    // finishes a copy, so runs are bit-stable regardless of host speed.
+    auto tiered =
+        make_tiered_store(cfg_.tier_retention, cfg_.l2_promote_every,
+                          cfg_.l3_promote_every, "", /*auto_promote=*/false);
+    tiered_ = tiered.get();
+    store = std::move(tiered);
+    injector_.set_severity_weights(cfg_.severity_weights);
+  } else {
+    store = std::make_unique<MemoryStore>();
+  }
+  manager_ = std::make_unique<CheckpointManager>(std::move(store),
+                                                 compressor_.get());
   // Keep the previous checkpoint until the new one commits, so a failure
-  // mid-write cannot leave us without any recovery point.
-  manager_->set_retention(2);
+  // mid-write cannot leave us without any recovery point. In tiered mode
+  // retention is per tier (inside the store); the manager-level prune is
+  // parked far away so it never fights the hierarchy.
+  manager_->set_retention(cfg_.ckpt_mode == CkptMode::kTiered ? (1 << 28) : 2);
   register_variables();
 }
 
 void ResilientRunner::register_variables() {
   if (cfg_.scheme == CkptScheme::kLossy) {
     // Paper Algorithm 2 line 5: checkpoint i and the compressed x only.
-    x_buf_ = solver_.solution();
-    manager_->protect(0, "x", &x_buf_);
+    // Checkpoints read the solver's live solution directly (one blocking
+    // copy into the staging slot, not two); x_buf_ is only recover()'s
+    // restore target, handed to solver_.restart() afterwards.
+    const Vector& live_x = solver_.solution();
+    x_buf_.assign(live_x.size(), 0.0);
+    manager_->protect(0, "x", &live_x, &x_buf_);
     manager_->protect_blob(1, "iter", &iter_blob_);
   } else {
     // Paper Algorithm 1 line 4: all dynamic vectors plus scalars.
@@ -65,30 +86,46 @@ void ResilientRunner::register_variables() {
   }
 }
 
+double ResilientRunner::compress_cost(double raw_bytes) const {
+  if (cfg_.scheme == CkptScheme::kLossy)
+    return cfg_.cluster.compress_seconds(raw_bytes);
+  if (cfg_.scheme == CkptScheme::kLossless)
+    return cfg_.cluster.lossless_compress_seconds(raw_bytes);
+  return 0.0;
+}
+
+double ResilientRunner::decompress_cost(double raw_bytes) const {
+  if (cfg_.scheme == CkptScheme::kLossy)
+    return cfg_.cluster.decompress_seconds(raw_bytes);
+  if (cfg_.scheme == CkptScheme::kLossless)
+    return cfg_.cluster.lossless_decompress_seconds(raw_bytes);
+  return 0.0;
+}
+
 double ResilientRunner::checkpoint_duration(
     const CheckpointRecord& rec) const {
   const double stored = static_cast<double>(rec.stored_bytes) *
                         cfg_.dynamic_scale;
   const double raw = static_cast<double>(rec.raw_bytes) * cfg_.dynamic_scale;
-  double seconds = cfg_.cluster.write_seconds(stored);
-  if (cfg_.scheme == CkptScheme::kLossy)
-    seconds += cfg_.cluster.compress_seconds(raw);
-  else if (cfg_.scheme == CkptScheme::kLossless)
-    seconds += cfg_.cluster.lossless_compress_seconds(raw);
-  return seconds;
+  return cfg_.cluster.write_seconds(stored) + compress_cost(raw);
+}
+
+double ResilientRunner::drain_duration(const CheckpointRecord& rec) const {
+  if (cfg_.ckpt_mode != CkptMode::kTiered) return checkpoint_duration(rec);
+  // Tiered L1 drain: compression plus a node-local write — the PFS is only
+  // touched later, by the background promotion channel.
+  const double stored = static_cast<double>(rec.stored_bytes) *
+                        cfg_.dynamic_scale;
+  const double raw = static_cast<double>(rec.raw_bytes) * cfg_.dynamic_scale;
+  return cfg_.cluster.local_write_seconds(stored) + compress_cost(raw);
 }
 
 double ResilientRunner::recovery_duration(double stored_bytes,
                                           double raw_dynamic_bytes) const {
   // Recovery re-reads the checkpoint plus the static state (A, M, b) and
   // decompresses the dynamic payload — paper §5.3 (recovery > checkpoint).
-  double seconds =
-      cfg_.cluster.read_seconds(stored_bytes + cfg_.static_bytes);
-  if (cfg_.scheme == CkptScheme::kLossy)
-    seconds += cfg_.cluster.decompress_seconds(raw_dynamic_bytes);
-  else if (cfg_.scheme == CkptScheme::kLossless)
-    seconds += cfg_.cluster.lossless_decompress_seconds(raw_dynamic_bytes);
-  return seconds;
+  return cfg_.cluster.read_seconds(stored_bytes + cfg_.static_bytes) +
+         decompress_cost(raw_dynamic_bytes);
 }
 
 void ResilientRunner::refresh_adaptive_bound() {
@@ -101,11 +138,7 @@ void ResilientRunner::refresh_adaptive_bound() {
 void ResilientRunner::capture_solver_state() {
   if (cfg_.scheme == CkptScheme::kLossy) {
     refresh_adaptive_bound();
-    // x_buf_ is both the checkpointed variable and recover()'s restore
-    // target (Algorithm 2), so the lossy async path pays one extra real
-    // copy (solution -> x_buf_ -> staging slot); the virtual stage cost
-    // models a single staging copy either way.
-    x_buf_ = solver_.solution();
+    (void)solver_.solution();  // materialize x for basis-backed solvers
     ByteWriter bw;
     bw.put(static_cast<std::int64_t>(solver_.iteration()));
     iter_blob_ = std::move(bw).take();
@@ -168,18 +201,40 @@ bool ResilientRunner::ensure_drain_record() {
     pending_blocking_ = 0.0;
     return false;
   }
-  drain_end_t_ = drain_start_t_ + checkpoint_duration(pending_rec_);
+  drain_end_t_ = drain_start_t_ + drain_duration(pending_rec_);
   pending_known_ = true;
   return true;
 }
 
 void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
   if (!ensure_drain_record()) return;  // failed drain already rolled back
+  // Matured promotions must land before this commit's L1 retention prune
+  // can retire their source copy — otherwise a copy whose virtual window
+  // already closed would silently never happen.
+  if (tiered_ != nullptr) apply_promotions(t_);
   manager_->commit_version(pending_version_);
   stored_bytes_last_ =
       static_cast<double>(pending_rec_.stored_bytes) * cfg_.dynamic_scale;
   raw_dyn_bytes_last_ =
       static_cast<double>(pending_rec_.raw_bytes) * cfg_.dynamic_scale;
+  if (tiered_ != nullptr) {
+    version_bytes_[pending_version_] = {stored_bytes_last_,
+                                        raw_dyn_bytes_last_};
+    // Only versions still resident in some tier can ever be recovered;
+    // drop size entries older than the deepest possible retention window
+    // so the map stays O(retention) over arbitrarily long runs.
+    const int keep_span =
+        cfg_.tier_retention *
+            std::max({1, cfg_.l2_promote_every, cfg_.l3_promote_every}) +
+        1;
+    version_bytes_.erase(
+        version_bytes_.begin(),
+        version_bytes_.lower_bound(pending_version_ - keep_span));
+    // The version became durable at L1 when its drain window closed; the
+    // background channel starts its L2/L3 hops no earlier than that.
+    schedule_virtual_promotions(pending_version_, stored_bytes_last_,
+                                drain_end_t_);
+  }
   ++result_.checkpoints;
   result_.ckpt_drain_seconds_total += overlapped_drain_seconds;
   committed_blocking_total_ += pending_blocking_;
@@ -221,9 +276,15 @@ void ResilientRunner::finish_pending_at_exit() {
   // before convergence overlapped iterations; the tail past t_ did not.
   if (!ensure_drain_record()) return;  // failed drain already rolled back
   commit_pending(std::min(drain_end_t_, t_) - drain_start_t_);
+  // Promotions that virtually completed before the run ended are counted;
+  // the rest would finish harmlessly after the application exits.
+  if (tiered_ != nullptr) apply_promotions(t_);
 }
 
 bool ResilientRunner::do_stage() {
+  // Promotions whose virtual window has already closed are durable now, so
+  // a failure later this interval can recover from them.
+  if (tiered_ != nullptr) apply_promotions(t_);
   // Back-pressure (FTI semantics): a new checkpoint may not stage while the
   // previous drain is unfinished — the wait blocks the virtual clock.
   if (pending_version_ >= 0 && ensure_drain_record()) {
@@ -271,29 +332,128 @@ bool ResilientRunner::do_stage() {
   return true;
 }
 
+// ----- tiered promotion channel ---------------------------------------------
+
+void ResilientRunner::schedule_virtual_promotions(int version,
+                                                  double stored_bytes,
+                                                  double ready_t) {
+  promo_tail_t_ = std::max(promo_tail_t_, ready_t);
+  if (version % cfg_.l2_promote_every == 0) {
+    const double cost = cfg_.cluster.partner_write_seconds(stored_bytes);
+    promo_tail_t_ += cost;
+    promo_queue_.push_back({version, 1, promo_tail_t_, cost});
+  }
+  if (version % cfg_.l3_promote_every == 0) {
+    const double cost = cfg_.cluster.write_seconds(stored_bytes);
+    promo_tail_t_ += cost;
+    promo_queue_.push_back({version, 2, promo_tail_t_, cost});
+  }
+}
+
+void ResilientRunner::apply_promotions(double now) {
+  while (!promo_queue_.empty() && promo_queue_.front().done_t <= now) {
+    const VirtualPromotion p = promo_queue_.front();
+    promo_queue_.pop_front();
+    // promote_now() declines when the source version was invalidated or
+    // pruned in the meantime — the copy simply never happened.
+    if (tiered_->promote_now(p.version, p.level)) {
+      ++result_.promotions_completed;
+      result_.promotion_seconds_total += p.cost;
+    }
+  }
+}
+
 // ----------------------------------------------------------------------------
 
-void ResilientRunner::handle_failure() {
-  settle_pending_at_failure();
+double ResilientRunner::tiered_recovery_duration(int version, int level,
+                                                 FailureSeverity worst) const {
+  double stored = stored_bytes_last_;
+  double raw = raw_dyn_bytes_last_;
+  if (const auto it = version_bytes_.find(version);
+      it != version_bytes_.end()) {
+    stored = it->second.first;
+    raw = it->second.second;
+  }
+  // Process failures restart within the allocation: the static state (A, M,
+  // b) is still resident. Node-or-worse failures re-read it from the PFS,
+  // exactly like the single-level model.
+  const bool read_static = worst >= FailureSeverity::kNode;
+  // L1/L2 reads ride node-local/interconnect channels, so their static
+  // re-read is a separate PFS operation with its own latency; an L3
+  // recovery reads checkpoint + static state in one PFS pass, matching
+  // recovery_duration()'s single-level accounting (no double latency).
+  const double static_read =
+      read_static ? cfg_.cluster.read_seconds(cfg_.static_bytes) : 0.0;
+  double seconds = 0.0;
+  switch (level) {
+    case 0:
+      seconds = cfg_.cluster.local_read_seconds(stored) + static_read;
+      break;
+    case 1:
+      seconds = cfg_.cluster.partner_read_seconds(stored) + static_read;
+      break;
+    default:
+      seconds = cfg_.cluster.read_seconds(
+          stored + (read_static ? cfg_.static_bytes : 0.0));
+      break;
+  }
+  return seconds + decompress_cost(raw);
+}
+
+void ResilientRunner::note_failure(FailureSeverity sev) {
   ++result_.failures;
+  ++result_.failures_by_severity[severity_index(sev)];
+  if (tiered_ != nullptr) {
+    // Copies whose virtual window closed before the failure are durable;
+    // everything still on the channel is lost with the staging buffers.
+    apply_promotions(t_);
+    promo_queue_.clear();
+    promo_tail_t_ = t_;
+    tiered_->invalidate(sev);
+  }
+}
+
+void ResilientRunner::handle_failure() {
+  FailureSeverity worst = injector_.severity();
+  settle_pending_at_failure();
+  note_failure(worst);
   injector_.arm(t_);
 
   // Recovery, which may itself be interrupted by further failures.
   for (;;) {
-    const bool have_ckpt = manager_->has_checkpoint();
-    const double duration =
-        have_ckpt
-            ? recovery_duration(stored_bytes_last_, raw_dyn_bytes_last_)
-            : cfg_.cluster.read_seconds(cfg_.static_bytes);
+    bool have_ckpt = false;
+    int level = -1;
+    double duration = 0.0;
+    if (tiered_ != nullptr) {
+      const int version = tiered_->latest_version();
+      have_ckpt = version >= 0;
+      if (have_ckpt) {
+        level = tiered_->level_of(version);
+        duration = tiered_recovery_duration(version, level, worst);
+      } else {
+        duration = cfg_.cluster.read_seconds(cfg_.static_bytes);
+      }
+    } else {
+      have_ckpt = manager_->has_checkpoint();
+      duration =
+          have_ckpt
+              ? recovery_duration(stored_bytes_last_, raw_dyn_bytes_last_)
+              : cfg_.cluster.read_seconds(cfg_.static_bytes);
+    }
     if (injector_.interrupts(t_, duration)) {
       t_ = injector_.next_failure_time();
-      ++result_.failures;
+      const FailureSeverity sev = injector_.severity();
+      worst = std::max(worst, sev);
+      note_failure(sev);
       injector_.arm(t_);
       continue;
     }
     t_ += duration;
     result_.recovery_seconds_total += duration;
     ++result_.recoveries;
+    if (level >= 0 &&
+        level < static_cast<int>(result_.recoveries_by_tier.size()))
+      ++result_.recoveries_by_tier[static_cast<std::size_t>(level)];
 
     if (have_ckpt) {
       manager_->recover();
@@ -315,11 +475,12 @@ void ResilientRunner::handle_failure() {
     }
     break;
   }
+  if (tiered_ != nullptr) promo_tail_t_ = std::max(promo_tail_t_, t_);
   last_ckpt_t_ = t_;  // checkpoint timer restarts after recovery
 }
 
 ResilienceResult ResilientRunner::run() {
-  const bool async = cfg_.ckpt_mode == CkptMode::kAsync;
+  const bool staged = cfg_.ckpt_mode != CkptMode::kSync;
   while (!solver_.converged() && result_.executed_steps < cfg_.max_steps) {
     // Failure strictly inside the next iteration's window?
     if (injector_.interrupts(t_, cfg_.iteration_seconds)) {
@@ -333,7 +494,7 @@ ResilienceResult ResilientRunner::run() {
 
     if (!solver_.converged() &&
         t_ - last_ckpt_t_ >= cfg_.ckpt_interval_seconds) {
-      if (async)
+      if (staged)
         do_stage();
       else
         do_checkpoint();

@@ -19,16 +19,30 @@
 ///    pending version and recovery falls back to the previous *committed*
 ///    checkpoint; a checkpoint request while the previous drain is still in
 ///    flight back-pressures until it commits.
+///  - CkptMode::kTiered — multi-level hierarchy (FTI/VeloC style): the
+///    staged drain lands in a node-local L1 tier (cheap), and committed
+///    versions are promoted L1→L2(partner)→L3(PFS) on a virtual background
+///    channel that never blocks the solver. Failures carry a severity
+///    (process/node/partition/system, sampled per ResilienceConfig
+///    weights); a severity-k failure destroys the tiers that do not survive
+///    it and recovery reads the cheapest surviving tier, paying that tier's
+///    read cost (plus a static-state re-read for node-or-worse failures).
 
+#include <array>
+#include <deque>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "ckpt/checkpoint_manager.hpp"
+#include "common/severity.hpp"
 #include "sim/cluster_model.hpp"
 #include "sim/failure.hpp"
 #include "solvers/solver.hpp"
 
 namespace lck {
+
+class TieredCheckpointStore;
 
 /// Which checkpointing scheme to run (paper §5.1 terminology).
 enum class CkptScheme { kTraditional, kLossless, kLossy };
@@ -74,6 +88,19 @@ struct ResilienceConfig {
   /// Cluster-scale bytes of static state (A, M, b) re-read on recovery.
   double static_bytes = 0.0;
 
+  // ----- kTiered knobs ------------------------------------------------------
+
+  /// Probability of each failure severity (process, node, partition,
+  /// system); must sum to 1. Only sampled in tiered mode.
+  std::array<double, kSeverityCount> severity_weights =
+      kDefaultSeverityWeights;
+  /// Every k-th committed checkpoint is promoted to the L2 partner tier.
+  int l2_promote_every = 1;
+  /// Every k-th committed checkpoint is promoted to the L3 PFS tier.
+  int l3_promote_every = 4;
+  /// Committed versions each tier retains (older ones pruned per tier).
+  int tier_retention = 2;
+
   /// Safety cap on executed solver steps.
   index_t max_steps = 2000000;
 };
@@ -116,6 +143,18 @@ struct ResilienceResult {
   double mean_ckpt_seconds = 0.0;
   double mean_recovery_seconds = 0.0;
 
+  /// Failure count per severity class. Without the tiered severity model
+  /// every failure is kProcess.
+  std::array<int, kSeverityCount> failures_by_severity{};
+  /// Tiered only: recoveries served by each hierarchy level (0 = L1
+  /// node-local, 1 = L2 partner, 2 = L3 PFS).
+  std::array<int, 3> recoveries_by_tier{};
+  /// Tiered only: L1→L2/L3 promotions that completed before the run (or a
+  /// failure) cut them off, and their total virtual seconds — background
+  /// work, never part of virtual_seconds.
+  int promotions_completed = 0;
+  double promotion_seconds_total = 0.0;
+
   /// Cluster-scale stored checkpoint size (mean over checkpoints) and the
   /// achieved dynamic-state compression ratio.
   double mean_ckpt_stored_bytes = 0.0;
@@ -132,9 +171,22 @@ class ResilientRunner {
 
  private:
   void register_variables();
+  /// Scheme-dependent virtual cost of (de)compressing `raw_bytes` of
+  /// dynamic state (zero for the traditional scheme). Shared by every
+  /// checkpoint/drain/recovery duration below.
+  [[nodiscard]] double compress_cost(double raw_bytes) const;
+  [[nodiscard]] double decompress_cost(double raw_bytes) const;
   [[nodiscard]] double checkpoint_duration(const CheckpointRecord& rec) const;
+  /// Virtual seconds of the background drain window: compression + PFS
+  /// write (kAsync) or compression + node-local L1 write (kTiered).
+  [[nodiscard]] double drain_duration(const CheckpointRecord& rec) const;
   [[nodiscard]] double recovery_duration(double stored_bytes,
                                          double raw_dynamic_bytes) const;
+  /// Tiered recovery cost from hierarchy level `level`; `worst` is the
+  /// highest severity seen since the last successful recovery (node or
+  /// worse adds the static-state PFS re-read).
+  [[nodiscard]] double tiered_recovery_duration(int version, int level,
+                                                FailureSeverity worst) const;
   void refresh_adaptive_bound();
   void capture_solver_state();  ///< Copy x / scalars into protected buffers.
   bool do_checkpoint();   ///< Sync path. Returns false if a failure hit it.
@@ -150,6 +202,16 @@ class ResilientRunner {
   void settle_pending_at_failure();  ///< Commit or abort at failure time t_.
   void finish_pending_at_exit();     ///< Commit the tail drain on run end.
   void handle_failure();
+  /// Count a failure with severity `sev`; in tiered mode also applies
+  /// matured promotions, drops in-flight promotion work and invalidates
+  /// the destroyed tiers.
+  void note_failure(FailureSeverity sev);
+  /// Enqueue the virtual L1→L2/L3 promotion of a committed version on the
+  /// (serial) background channel, starting no earlier than `ready_t`.
+  void schedule_virtual_promotions(int version, double stored_bytes,
+                                   double ready_t);
+  /// Execute every queued promotion whose virtual window ended by `now`.
+  void apply_promotions(double now);
 
   IterativeSolver& solver_;
   ResilienceConfig cfg_;
@@ -176,6 +238,22 @@ class ResilientRunner {
   double pending_blocking_ = 0.0;    // blocking seconds of the pending ckpt
   double committed_blocking_total_ = 0.0;  // numerator of mean_ckpt_seconds
   CheckpointRecord pending_rec_{};
+
+  // Tiered hierarchy: borrowed from manager_'s store (manager owns it).
+  TieredCheckpointStore* tiered_ = nullptr;
+  /// One committed-version hop (into L2 or L3) on the serial virtual
+  /// promotion channel.
+  struct VirtualPromotion {
+    int version = -1;
+    int level = -1;
+    double done_t = 0.0;  ///< Virtual completion time.
+    double cost = 0.0;    ///< Seconds of background channel time.
+  };
+  std::deque<VirtualPromotion> promo_queue_;
+  double promo_tail_t_ = 0.0;  ///< Busy-until time of the promotion channel.
+  /// Cluster-scale (stored, raw) bytes per committed version, so recovery
+  /// from an older tier copy is charged that version's true size.
+  std::map<int, std::pair<double, double>> version_bytes_;
 };
 
 }  // namespace lck

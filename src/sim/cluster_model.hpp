@@ -37,6 +37,13 @@ struct ClusterModel {
   /// background drain to the PFS). Node-local, so it scales with ranks.
   double stage_bw_per_rank = 1.0e9;  ///< bytes/s/rank memcpy-class copy.
   double stage_latency = 0.05;       ///< Fixed per-stage seconds (barrier).
+  /// L2 partner-copy tier (FTI L2): each rank ships its blob halves +
+  /// parity to partner nodes over the interconnect. Node-local NIC-bound,
+  /// so it scales with ranks like the staging copy but is slower.
+  double partner_bw_per_rank = 1.25e9;  ///< bytes/s/rank interconnect copy.
+  double partner_latency = 0.1;         ///< Fixed per-op seconds (exchange).
+  /// Bytes moved per checkpoint byte at L2 (two halves + XOR parity = 1.5x).
+  double partner_redundancy = 1.5;
 
   /// Seconds to write `bytes` to the PFS.
   [[nodiscard]] double write_seconds(double bytes) const noexcept {
@@ -68,6 +75,28 @@ struct ClusterModel {
   [[nodiscard]] double stage_seconds(double bytes) const noexcept {
     return stage_latency +
            bytes / (stage_bw_per_rank * ranks * parallel_efficiency);
+  }
+  /// Seconds to write `bytes` to the node-local L1 tier (burst buffer /
+  /// local SSD — same per-rank channel as the staging copy).
+  [[nodiscard]] double local_write_seconds(double bytes) const noexcept {
+    return stage_seconds(bytes);
+  }
+  /// Seconds to read `bytes` back from the node-local L1 tier.
+  [[nodiscard]] double local_read_seconds(double bytes) const noexcept {
+    return stage_seconds(bytes);
+  }
+  /// Seconds to place `bytes` on the L2 partner tier: the redundancy factor
+  /// (halves + parity) rides the interconnect.
+  [[nodiscard]] double partner_write_seconds(double bytes) const noexcept {
+    return partner_latency + bytes * partner_redundancy /
+                                 (partner_bw_per_rank * ranks *
+                                  parallel_efficiency);
+  }
+  /// Seconds to gather `bytes` back from the partner tier on recovery (the
+  /// surviving pieces total one blob's worth of traffic).
+  [[nodiscard]] double partner_read_seconds(double bytes) const noexcept {
+    return partner_latency +
+           bytes / (partner_bw_per_rank * ranks * parallel_efficiency);
   }
 
   /// Model with the same per-rank characteristics at a different scale

@@ -3,12 +3,24 @@
 /// \brief Fail-stop failure injection with exponentially distributed
 ///        inter-arrival times (paper §5.4: "the failure intervals follow an
 ///        exponential distribution"). Failures may land during computation,
-///        checkpointing, or recovery.
+///        checkpointing, or recovery. For the multi-level checkpoint
+///        hierarchy each failure optionally carries a severity (process /
+///        node / partition / system) sampled from configurable weights, so
+///        λ splits into per-severity rates λ_k = w_k·λ.
+
+#include <array>
 
 #include "common/rng.hpp"
+#include "common/severity.hpp"
 #include "common/types.hpp"
 
 namespace lck {
+
+/// Default severity mix for the tiered experiments: most failures are
+/// process-level (software aborts dominate field data), node losses are the
+/// common hardware case, partition/system outages are rare.
+inline constexpr std::array<double, kSeverityCount> kDefaultSeverityWeights{
+    0.55, 0.30, 0.10, 0.05};
 
 class FailureInjector {
  public:
@@ -23,26 +35,68 @@ class FailureInjector {
   /// Virtual time of the next failure (infinity when disabled).
   [[nodiscard]] double next_failure_time() const noexcept { return next_; }
 
+  /// Severity of the armed (next) failure. Always kProcess unless severity
+  /// sampling was enabled with set_severity_weights().
+  [[nodiscard]] FailureSeverity severity() const noexcept {
+    return next_severity_;
+  }
+
   /// True if a failure strikes strictly inside (start, start+duration].
   [[nodiscard]] bool interrupts(double start, double duration) const noexcept {
     return enabled_ && next_ > start && next_ <= start + duration;
   }
 
   /// Re-arm after handling a failure (or to skip one): samples the next
-  /// arrival at `now` + Exp(MTTI).
+  /// arrival at `now` + Exp(MTTI), plus its severity when the severity
+  /// model is active. Runs that never enable severities draw exactly the
+  /// same RNG sequence as before the tiered extension (bit-stable seeds).
   void arm(double now) {
     next_ = enabled_ ? now + rng_.exponential(mtti_)
                      : std::numeric_limits<double>::infinity();
+    next_severity_ = enabled_ && severities_enabled_
+                         ? sample_severity()
+                         : FailureSeverity::kProcess;
   }
 
+  /// Enable per-failure severity sampling. Weights must be non-negative and
+  /// sum to ~1; the severity of the *currently armed* failure is resampled.
+  void set_severity_weights(const std::array<double, kSeverityCount>& w) {
+    double sum = 0.0;
+    for (const double x : w) {
+      require(x >= 0.0, "failure injector: negative severity weight");
+      sum += x;
+    }
+    require(sum > 0.999 && sum < 1.001,
+            "failure injector: severity weights must sum to 1");
+    weights_ = w;
+    severities_enabled_ = true;
+    if (enabled_) next_severity_ = sample_severity();
+  }
+
+  [[nodiscard]] bool severities_enabled() const noexcept {
+    return severities_enabled_;
+  }
   [[nodiscard]] double mtti() const noexcept { return mtti_; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
  private:
+  [[nodiscard]] FailureSeverity sample_severity() noexcept {
+    const double u = rng_.uniform();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < kSeverityCount; ++k) {
+      acc += weights_[k];
+      if (u < acc) return static_cast<FailureSeverity>(k);
+    }
+    return FailureSeverity::kSystem;  // rounding tail
+  }
+
   Rng rng_;
   double mtti_;
   bool enabled_;
+  bool severities_enabled_ = false;
+  std::array<double, kSeverityCount> weights_ = kDefaultSeverityWeights;
   double next_ = 0.0;
+  FailureSeverity next_severity_ = FailureSeverity::kProcess;
 };
 
 }  // namespace lck

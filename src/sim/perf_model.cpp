@@ -80,4 +80,44 @@ double expected_overhead_ratio_async(double t_stage, double t_drain,
   return f / (1.0 - f);
 }
 
+std::array<double, 3> severity_tier_lambdas(
+    double lambda,
+    const std::array<double, kSeverityCount>& severity_weights) noexcept {
+  return {lambda * severity_weights[severity_index(FailureSeverity::kProcess)],
+          lambda * severity_weights[severity_index(FailureSeverity::kNode)],
+          lambda *
+              (severity_weights[severity_index(FailureSeverity::kPartition)] +
+               severity_weights[severity_index(FailureSeverity::kSystem)])};
+}
+
+std::vector<double> tiered_optimal_intervals(
+    std::span<const double> ckpt_costs, std::span<const double> lambdas) {
+  require(ckpt_costs.size() == lambdas.size(),
+          "tiered intervals: costs and lambdas must have equal length");
+  std::vector<double> intervals(ckpt_costs.size());
+  for (std::size_t k = 0; k < ckpt_costs.size(); ++k)
+    intervals[k] = lambdas[k] > 0.0
+                       ? std::sqrt(2.0 * ckpt_costs[k] / lambdas[k])
+                       : std::numeric_limits<double>::infinity();
+  return intervals;
+}
+
+double expected_overhead_ratio_tiered(std::span<const double> ckpt_costs,
+                                      std::span<const double> intervals,
+                                      std::span<const double> lambdas,
+                                      std::span<const double> recovery_costs) {
+  require(ckpt_costs.size() == intervals.size() &&
+              ckpt_costs.size() == lambdas.size() &&
+              ckpt_costs.size() == recovery_costs.size(),
+          "tiered overhead: all spans must have equal length");
+  double f = 0.0;
+  for (std::size_t k = 0; k < ckpt_costs.size(); ++k) {
+    if (std::isfinite(intervals[k]) && intervals[k] > 0.0)
+      f += ckpt_costs[k] / intervals[k] + lambdas[k] * intervals[k] / 2.0;
+    f += lambdas[k] * recovery_costs[k];
+  }
+  if (f >= 1.0) return std::numeric_limits<double>::infinity();
+  return f / (1.0 - f);
+}
+
 }  // namespace lck

@@ -5,8 +5,12 @@
 ///        overhead (Eqs. 4–5 traditional, Eq. 8 lossy), Theorem 1's
 ///        extra-iteration budget, and Theorem 2's stationary-method bound.
 
+#include <array>
 #include <limits>
+#include <span>
+#include <vector>
 
+#include "common/severity.hpp"
 #include "common/types.hpp"
 
 namespace lck {
@@ -85,5 +89,33 @@ struct StationaryBound {
 [[nodiscard]] double expected_overhead_ratio_async(
     double t_stage, double t_drain, double lambda,
     double interval_seconds) noexcept;
+
+// ----- multi-level (tiered) checkpoint hierarchy model ----------------------
+
+/// Split the total failure rate λ = 1/MTTI into per-recovery-tier rates for
+/// the canonical 3-level hierarchy: process failures recover from L1, node
+/// failures from L2, partition and system failures both from L3 (the PFS
+/// survives everything). λ_k = λ·w_k with the partition+system weights
+/// merged into the last entry.
+[[nodiscard]] std::array<double, 3> severity_tier_lambdas(
+    double lambda,
+    const std::array<double, kSeverityCount>& severity_weights) noexcept;
+
+/// Per-tier Young-style optimal intervals for a multi-level scheme: level k
+/// pays cost c_k per checkpoint reaching it and covers failures arriving at
+/// rate λ_k, so the first-order optimum of c_k/t + λ_k·t/2 is
+/// t_k* = sqrt(2·c_k / λ_k). Entries with λ_k = 0 get infinity (never
+/// promote on a failure class that cannot happen).
+[[nodiscard]] std::vector<double> tiered_optimal_intervals(
+    std::span<const double> ckpt_costs, std::span<const double> lambdas);
+
+/// First-order expected fault-tolerance overhead ratio of a tiered scheme:
+///   f = Σ_k [ c_k/t_k + λ_k·(t_k/2 + r_k) ]
+/// (per-tier checkpoint cost amortized over its interval, plus each failure
+/// class's expected rework of half an interval and its tier's recovery
+/// cost), returned as f/(1−f) like Eqs. 5/8; infinity once f ≥ 1.
+[[nodiscard]] double expected_overhead_ratio_tiered(
+    std::span<const double> ckpt_costs, std::span<const double> intervals,
+    std::span<const double> lambdas, std::span<const double> recovery_costs);
 
 }  // namespace lck

@@ -334,8 +334,14 @@ TEST(AsyncManager, LossyStagedCheckpointHonoursErrorBound) {
 
 /// Compressor whose compress() blocks until released — lets the test hold a
 /// drain open deterministically to exercise slot back-pressure for real.
+/// Every wait is bounded by a generous deadline: on a loaded single-core
+/// container the worker thread can be scheduled very late, but a wait that
+/// exceeds the deadline is a genuine hang and must fail the test rather
+/// than wedge the whole CTest run.
 class GateCompressor final : public Compressor {
  public:
+  static constexpr auto kDeadline = std::chrono::seconds(60);
+
   [[nodiscard]] std::string name() const override { return "none"; }
   [[nodiscard]] bool lossy() const noexcept override { return false; }
   [[nodiscard]] std::vector<byte_t> compress(
@@ -344,7 +350,8 @@ class GateCompressor final : public Compressor {
       std::unique_lock<std::mutex> lock(mu_);
       ++entered_;
       cv_.notify_all();
-      cv_.wait(lock, [&] { return open_; });
+      if (!cv_.wait_for(lock, kDeadline, [&] { return open_; }))
+        throw corrupt_stream_error("gate compressor: deadline expired");
     }
     return none_.compress(data);
   }
@@ -359,9 +366,9 @@ class GateCompressor final : public Compressor {
     }
     cv_.notify_all();
   }
-  void wait_entered(int n) {
+  [[nodiscard]] bool wait_entered(int n) {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return entered_ >= n; });
+    return cv_.wait_for(lock, kDeadline, [&] { return entered_ >= n; });
   }
 
  private:
@@ -382,7 +389,7 @@ TEST(AsyncManager, ThirdStageBlocksUntilASlotDrains) {
   mgr.protect(0, "x", &x);
 
   const StageTicket t0 = mgr.stage();  // worker enters the gate
-  gate.wait_entered(1);
+  ASSERT_TRUE(gate.wait_entered(1)) << "drain never reached the compressor";
   const StageTicket t1 = mgr.stage();  // second slot: stages fine
 
   std::atomic<bool> third_staged{false};

@@ -97,6 +97,60 @@ TEST(DiskStore, PersistsAcrossInstances) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(DiskStore, StalePendingSweepThenRetentionPruneAfterReopen) {
+  // Crash between write_pending and commit, then reopen + prune: the
+  // reopen must sweep the orphaned .lck.pending file, the new manager must
+  // reuse the swept version number without clashing, and retention pruning
+  // over the reopened store must retire the pre-crash committed versions.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("lckpt_stale_prune_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  NoneCompressor none;
+  Vector x(64, 1.0);
+  {
+    CheckpointManager mgr(std::make_unique<DiskStore>(dir.string()), &none);
+    mgr.set_retention(2);
+    mgr.protect(0, "x", &x);
+    mgr.checkpoint();  // v0 committed
+    x.assign(64, 2.0);
+    mgr.checkpoint();  // v1 committed
+  }
+  {
+    // "Crash": a pending v2 written straight to the store, never committed
+    // (bypassing the manager, whose destructor would roll it back).
+    DiskStore store(dir.string());
+    store.write_pending(2, std::vector<byte_t>{9, 9, 9});
+    EXPECT_TRUE(store.has_pending(2));
+  }  // process dies with the .lck.pending file on disk
+
+  CheckpointManager mgr(std::make_unique<DiskStore>(dir.string()), &none);
+  mgr.set_retention(1);
+  mgr.protect(0, "x", &x);
+  // The sweep ran at DiskStore construction: no pending leftover, and the
+  // version counter continues from the committed history (v2 is free for
+  // reuse because the orphan never committed).
+  EXPECT_FALSE(mgr.store().has_pending(2));
+  EXPECT_EQ(mgr.latest_version(), 1);
+  x.assign(64, 3.0);
+  const CheckpointRecord rec = mgr.checkpoint();  // reuses version 2
+  EXPECT_EQ(rec.version, 2);
+  // retention 1: the prune at v2's commit must retire both pre-crash
+  // versions, stepping across the whole reopened history.
+  EXPECT_FALSE(mgr.store().exists(0));
+  EXPECT_FALSE(mgr.store().exists(1));
+  EXPECT_TRUE(mgr.store().exists(2));
+  x.assign(64, 0.0);
+  mgr.recover();
+  EXPECT_DOUBLE_EQ(x[0], 3.0);  // v2's state, not the orphan's bytes
+  // No stray files beyond the single committed checkpoint.
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir))
+    ++files;
+  EXPECT_EQ(files, 1u);
+  std::filesystem::remove_all(dir);
+}
+
 // ----- manager ---------------------------------------------------------------
 
 TEST(Manager, ProtectCheckpointRecoverRoundTrip) {
