@@ -41,11 +41,11 @@ int main() {
       auto solver = p.make_solver();
       ResilienceConfig cfg;
       cfg.scheme = CkptScheme::kLossy;
-      cfg.mtti_seconds = kMtti;
-      cfg.seed = 400 + t;
+      cfg.failure.mtti_seconds = kMtti;
+      cfg.failure.seed = 400 + t;
       cfg.iteration_seconds = t_it;
       cfg.cluster = ClusterModel{}.with_ranks(kProcs);
-      cfg.ckpt_interval_seconds = mult * young;
+      cfg.policy.interval_seconds = mult * young;
       cfg.dynamic_scale = table3_vector_bytes(kProcs) / p.vector_bytes();
       cfg.static_bytes = static_state_bytes(table3_vector_bytes(kProcs));
       ResilientRunner runner(*solver, cfg);

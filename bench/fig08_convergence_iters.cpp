@@ -56,15 +56,15 @@ int main() {
         auto solver = p.make_solver();
         ResilienceConfig cfg;
         cfg.scheme = CkptScheme::kLossy;
-        cfg.lossy_eb = ErrorBound::pointwise_rel(s.pm.eb_value);
-        cfg.adaptive_error_bound = s.pm.adaptive_eb;
-        cfg.adaptive_theta = bench::kAdaptiveTheta;
-        cfg.mtti_seconds = 3600.0;
-        cfg.seed = 1000 + static_cast<std::uint64_t>(procs) * 10 + t;
+        cfg.compression.lossy_eb = ErrorBound::pointwise_rel(s.pm.eb_value);
+        cfg.compression.adaptive_error_bound = s.pm.adaptive_eb;
+        cfg.compression.adaptive_theta = bench::kAdaptiveTheta;
+        cfg.failure.mtti_seconds = 3600.0;
+        cfg.failure.seed = 1000 + static_cast<std::uint64_t>(procs) * 10 + t;
         cfg.iteration_seconds = t_it_virtual;
         cfg.cluster = ClusterModel{}.with_ranks(procs);
-        cfg.ckpt_interval_seconds =
-            young_interval_seconds(times.ckpt_seconds, cfg.mtti_seconds);
+        cfg.policy.interval_seconds =
+            young_interval_seconds(times.ckpt_seconds, cfg.failure.mtti_seconds);
         cfg.dynamic_scale =
             table3_vector_bytes(procs) / p.vector_bytes();
         cfg.static_bytes = static_state_bytes(table3_vector_bytes(procs));

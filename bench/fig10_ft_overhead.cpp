@@ -66,15 +66,15 @@ int main() {
         auto solver = p.make_solver();
         ResilienceConfig cfg;
         cfg.scheme = scheme;
-        cfg.lossy_eb = ErrorBound::pointwise_rel(s.pm.eb_value);
-        cfg.adaptive_error_bound =
+        cfg.compression.lossy_eb = ErrorBound::pointwise_rel(s.pm.eb_value);
+        cfg.compression.adaptive_error_bound =
             scheme == CkptScheme::kLossy && s.pm.adaptive_eb;
-        cfg.adaptive_theta = bench::kAdaptiveTheta;
-        cfg.mtti_seconds = kMtti;
-        cfg.seed = 9000 + static_cast<std::uint64_t>(m) * 100 + sc * 10 + t;
+        cfg.compression.adaptive_theta = bench::kAdaptiveTheta;
+        cfg.failure.mtti_seconds = kMtti;
+        cfg.failure.seed = 9000 + static_cast<std::uint64_t>(m) * 100 + sc * 10 + t;
         cfg.iteration_seconds = t_it;
         cfg.cluster = ClusterModel{}.with_ranks(kProcs);
-        cfg.ckpt_interval_seconds = interval;
+        cfg.policy.interval_seconds = interval;
         cfg.dynamic_scale = table3_vector_bytes(kProcs) / p.vector_bytes();
         cfg.static_bytes = static_state_bytes(table3_vector_bytes(kProcs));
         ResilientRunner runner(*solver, cfg);

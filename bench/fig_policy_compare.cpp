@@ -1,0 +1,152 @@
+/// Beyond the paper: checkpoint pacing policies head to head. The paper
+/// picks one Young-optimal interval offline ("fixed"); the policy API lets
+/// the perf model derive it per mode ("young") or re-derive it online from
+/// observed costs ("adaptive"). This harness sweeps MTTI × CkptMode ×
+/// policy with real ResilientRunner executions at the paper's 2,048-rank
+/// point and reports total fault-tolerance overhead vs the failure-free
+/// baseline.
+///
+///   build/bench/fig_policy_compare [method] [--json <path>]
+///
+/// Exit code enforces the headline claim: at every swept MTTI, the
+/// adaptive policy's mean total overhead (across modes and trials) must
+/// not exceed the fixed 420 s pacing's (the paper's offline pick for the
+/// traditional scheme). Per-point numbers land in the JSON table; the
+/// aggregation keeps the gate robust at the low-failure-count end of the
+/// sweep (MTTI 7200 s ≈ 0.5 failures/run), where single seeds wiggle.
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lck;
+  using namespace lck::bench;
+
+  std::string method = "cg";
+  if (argc > 1 && argv[1][0] != '-') method = argv[1];
+  JsonSink json = JsonSink::from_args(argc, argv);
+
+  banner("Checkpoint pacing policies — " + method +
+             ": fixed 420 s vs model-driven (young, adaptive)",
+         "Beyond Tao et al., HPDC'18 (adaptive interval from the "
+         "overlap-aware/tiered cost models)");
+
+  // Laptop-scale stand-in mapped onto a 2,048-rank hour-scale execution,
+  // exactly like resilient_solve.
+  const bool stationary = method == "jacobi";
+  const LocalProblem p = make_local_problem(method, stationary ? 14 : 16,
+                                            stationary ? 1e-4 : 1e-8, 200000,
+                                            /*precondition=*/false);
+  auto baseline = p.make_solver();
+  baseline->solve();
+  const double n_base = static_cast<double>(baseline->iteration());
+  const double t_it = 3600.0 / n_base;
+  const double baseline_seconds = 3600.0;
+  std::printf("%s on %lld unknowns: failure-free N = %.0f iterations; "
+              "2,048 ranks, lossy scheme (SZ), fixed pacing = 420 s\n\n",
+              method.c_str(), static_cast<long long>(p.a.rows()), n_base);
+
+  const std::array<double, 3> mttis{1800.0, 3600.0, 7200.0};
+  const std::array<CkptMode, 3> modes{CkptMode::kSync, CkptMode::kAsync,
+                                      CkptMode::kTiered};
+  const std::array<const char*, 3> policies{"fixed", "young", "adaptive"};
+  constexpr int kTrials = 5;
+
+  std::printf("%-8s %-7s %-10s %-10s %-8s %-11s %-13s %-9s\n", "MTTI",
+              "mode", "policy", "total(s)", "ckpts", "interval(s)", "adjusts",
+              "overhead");
+  std::vector<std::vector<double>> rows;
+  bool adaptive_wins = true;
+  double oh_fixed_3600 = 0.0, oh_adaptive_3600 = 0.0;
+
+  std::vector<std::vector<double>> sweep_rows;
+  for (const double mtti : mttis) {
+    std::array<double, 3> mtti_mean{};  // per-policy mean across modes
+    for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+      std::array<double, 3> overhead{};
+      for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        double total = 0.0, ckpts = 0.0, interval = 0.0, adjusts = 0.0;
+        for (int t = 0; t < kTrials; ++t) {
+          auto solver = p.make_solver();
+          ResilienceConfig cfg;
+          cfg.scheme = CkptScheme::kLossy;
+          cfg.ckpt_mode = modes[mi];
+          cfg.compression.adaptive_error_bound = method == "gmres";
+          cfg.compression.adaptive_theta = kAdaptiveTheta;
+          cfg.failure.mtti_seconds = mtti;
+          cfg.failure.seed =
+              5000 + static_cast<std::uint64_t>(mtti) + mi * 10 + t;
+          cfg.iteration_seconds = t_it;
+          cfg.cluster = ClusterModel{};  // 2,048 ranks
+          cfg.dynamic_scale = 78.8e9 / p.vector_bytes();
+          cfg.static_bytes = 0.25 * 78.8e9;
+          cfg.policy.name = policies[pi];
+          cfg.policy.interval_seconds = 420.0;  // the paper's offline pick
+          ResilientRunner runner(*solver, cfg);
+          const ResilienceResult res = runner.run();
+          total += res.virtual_seconds;
+          ckpts += res.checkpoints;
+          interval += res.policy_interval_final;
+          adjusts += res.interval_adjustments;
+        }
+        total /= kTrials;
+        ckpts /= kTrials;
+        interval /= kTrials;
+        adjusts /= kTrials;
+        overhead[pi] = (total - baseline_seconds) / baseline_seconds;
+        std::printf("%-8.0f %-7s %-10s %-10.0f %-8.1f %-11.1f %-13.1f "
+                    "%7.1f%%\n",
+                    mtti, to_string(modes[mi]), policies[pi], total, ckpts,
+                    interval, adjusts, 100.0 * overhead[pi]);
+        rows.push_back({mtti, static_cast<double>(mi),
+                        static_cast<double>(pi), total, ckpts, interval,
+                        adjusts, overhead[pi]});
+      }
+      for (std::size_t pi = 0; pi < policies.size(); ++pi)
+        mtti_mean[pi] += overhead[pi] / static_cast<double>(modes.size());
+      if (mtti == 3600.0 && modes[mi] == CkptMode::kSync) {
+        oh_fixed_3600 = overhead[0];
+        oh_adaptive_3600 = overhead[2];
+      }
+    }
+    std::printf("  MTTI %.0f s mean across modes: fixed %.1f%%, young "
+                "%.1f%%, adaptive %.1f%%\n\n",
+                mtti, 100.0 * mtti_mean[0], 100.0 * mtti_mean[1],
+                100.0 * mtti_mean[2]);
+    sweep_rows.push_back({mtti, mtti_mean[0], mtti_mean[1], mtti_mean[2]});
+    if (mtti_mean[2] > mtti_mean[0] + 1e-12) adaptive_wins = false;
+  }
+
+  json.text("method", method);
+  json.scalar("baseline_seconds", baseline_seconds);
+  json.scalar("fixed_interval_seconds", 420.0);
+  json.scalar("trials", kTrials);
+  json.table("policy_overhead",
+             {"mtti", "mode", "policy", "total_seconds", "checkpoints",
+              "interval_final", "interval_adjustments", "overhead"},
+             rows);
+  json.table("mtti_mean_overhead", {"mtti", "fixed", "young", "adaptive"},
+             sweep_rows);
+  json.scalar("overhead_fixed_sync_3600", oh_fixed_3600);
+  json.scalar("overhead_adaptive_sync_3600", oh_adaptive_3600);
+  json.scalar("adaptive_beats_fixed", adaptive_wins ? 1.0 : 0.0);
+  json.write();
+
+  std::printf("At 2,048 ranks / MTTI 3600 s (sync): fixed-420 s overhead "
+              "%.2f%%, adaptive %.2f%% — adaptive <= fixed at every swept "
+              "MTTI: %s\n",
+              100.0 * oh_fixed_3600, 100.0 * oh_adaptive_3600,
+              adaptive_wins ? "holds" : "VIOLATED");
+  std::printf(
+      "\nThe fixed interval is tuned for the traditional scheme's 120 s "
+      "checkpoint; once compression (and, in the staged modes, overlap) "
+      "shrinks the blocking cost, 420 s leaves long failure-rework windows. "
+      "The adaptive policy re-derives the interval from observed blocking "
+      "cost after every commit, checkpointing far more often when "
+      "checkpoints are nearly free and backing off when they are not.\n");
+  return adaptive_wins ? 0 : 1;
+}

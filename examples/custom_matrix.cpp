@@ -3,7 +3,7 @@
 /// lossy checkpointing; without an argument, a synthetic KKT saddle-point
 /// system stands in (DESIGN.md substitution for Fig. 3).
 ///
-///   build/examples/custom_matrix [matrix.mtx]
+///   build/examples/custom_matrix [matrix.mtx] [--policy fixed|young|adaptive]
 
 #include <cstdio>
 #include <string>
@@ -17,10 +17,27 @@
 int main(int argc, char** argv) {
   using namespace lck;
 
+  std::string mtx_path;
+  std::string policy = "fixed";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--policy" && i + 1 < argc) {
+      policy = argv[++i];
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr,
+                   "unknown or incomplete option \"%s\"\nusage: %s "
+                   "[matrix.mtx] [--policy fixed|young|adaptive]\n",
+                   arg.c_str(), argv[0]);
+      return 2;
+    } else {
+      mtx_path = arg;
+    }
+  }
+
   CsrMatrix a;
-  if (argc > 1) {
-    std::printf("Loading %s ...\n", argv[1]);
-    a = load_matrix_market(argv[1]);
+  if (!mtx_path.empty()) {
+    std::printf("Loading %s ...\n", mtx_path.c_str());
+    a = load_matrix_market(mtx_path);
   } else {
     std::printf("No matrix given; generating a synthetic KKT saddle-point "
                 "system (symmetric indefinite, like KKT240).\n");
@@ -44,15 +61,16 @@ int main(int argc, char** argv) {
   // Failure-prone execution with adaptive-bound lossy checkpointing.
   ResilienceConfig cfg;
   cfg.scheme = CkptScheme::kLossy;
-  cfg.adaptive_error_bound = true;  // Theorem 3: eb tracks ||r||/||b||
-  cfg.adaptive_theta = 0.25;
-  cfg.mtti_seconds = 900.0;  // aggressive for demonstration
-  cfg.seed = 7;
+  cfg.compression.adaptive_error_bound = true;  // Theorem 3: eb tracks ||r||/||b||
+  cfg.compression.adaptive_theta = 0.25;
+  cfg.failure.mtti_seconds = 900.0;  // aggressive for demonstration
+  cfg.failure.seed = 7;
   cfg.iteration_seconds = 1.0;
-  cfg.ckpt_interval_seconds =
+  cfg.policy.name = policy;
+  cfg.policy.interval_seconds =
       young_interval_seconds(cfg.cluster.write_seconds(
                                  static_cast<double>(a.rows()) * 8.0),
-                             cfg.mtti_seconds);
+                             cfg.failure.mtti_seconds);
   cfg.dynamic_scale = 1.0;
   cfg.static_bytes = static_cast<double>(a.nnz()) * 12.0;
 
@@ -66,6 +84,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(res.convergence_iteration),
               static_cast<long long>(res.executed_steps), res.failures,
               res.checkpoints, res.compression_ratio);
+  std::printf("Pacing: policy \"%s\", final interval %.1f s, "
+              "%d mid-run adjustments\n",
+              policy.c_str(), res.policy_interval_final,
+              res.interval_adjustments);
   std::printf("Final residual: %.3e (rtol %.0e)\n", res.final_residual_norm,
               opts.rtol);
   return 0;

@@ -1,20 +1,20 @@
 /// Quickstart: solve the paper's 3-D Poisson system (Eq. 15) with
 /// preconditioned CG, protecting the solver state with lossy checkpointing
-/// through the FTI-style Protect()/Snapshot() API (paper §4.2 workflow).
+/// through the FTI-style Protect()/Snapshot() API (paper §4.2 workflow),
+/// paced by a CheckpointPolicy instead of a hand-rolled modulo loop.
 ///
 ///   build/examples/quickstart
 ///
 /// Walks through: (1) build the system, (2) register variables to
-/// checkpoint, (3) iterate, snapshotting every k iterations, (4) simulate a
-/// crash by clobbering the state, (5) recover from the lossy checkpoint and
-/// finish the solve.
+/// checkpoint, (3) iterate under a pacing policy, snapshotting when it says
+/// so, (4) simulate a crash by clobbering the state, (5) recover from the
+/// lossy checkpoint and finish the solve.
+///
+/// Everything below compiles against the single public facade header.
 
 #include <cstdio>
 
-#include "ckpt/checkpoint_manager.hpp"
-#include "compress/sz/sz_like.hpp"
-#include "solvers/cg.hpp"
-#include "sparse/gen/poisson3d.hpp"
+#include "lck.hpp"
 
 int main() {
   using namespace lck;
@@ -30,19 +30,33 @@ int main() {
 
   // (2) Lossy checkpointing: SZ with the paper's 1e-4 pointwise-relative
   // bound; only the approximate solution x is protected (Algorithm 2).
-  SzLikeCompressor sz(ErrorBound::pointwise_rel(1e-4));
-  CheckpointManager ckpt(std::make_unique<MemoryStore>(), &sz);
+  const auto sz = make_compressor("sz", ErrorBound::pointwise_rel(1e-4));
+  CheckpointManager ckpt(std::make_unique<MemoryStore>(), sz.get());
   Vector x_protected = solver.solution();
   ckpt.protect(0, "x", &x_protected);
 
-  // (3) Iterate, checkpointing every 10 iterations.
-  const index_t ckpt_interval = 10;
+  // (3) Pacing through the policy API: "fixed" reproduces the paper's
+  // offline interval. At one virtual second per iteration this checkpoints
+  // every 10 iterations; swap the name for "young" or "adaptive" (with a
+  // PolicyContext carrying λ and modeled costs) to let the perf model pace
+  // the run instead.
+  PolicyContext pacing;
+  pacing.fixed_interval_seconds = 10.0;
+  const auto policy = make_policy("fixed", pacing);
+  const double iteration_seconds = 1.0;
+  double now = 0.0, last_ckpt = 0.0;
+
   index_t crash_at = 35;
   while (!solver.converged()) {
     solver.step();
-    if (solver.iteration() % ckpt_interval == 0) {
+    now += iteration_seconds;
+    policy->on_iteration(now);
+    if (policy->should_checkpoint(now, last_ckpt)) {
       x_protected = solver.solution();
       const auto rec = ckpt.snapshot();
+      last_ckpt = now;
+      policy->on_checkpoint_committed(/*blocking_seconds=*/0.0,
+                                      static_cast<double>(rec.stored_bytes));
       std::printf("  checkpoint v%d at iteration %lld: %zu B raw -> %zu B "
                   "stored (%.1fx)\n",
                   rec.version, static_cast<long long>(solver.iteration()),
@@ -54,10 +68,13 @@ int main() {
     if (solver.iteration() == crash_at) {
       std::printf("  !! simulated failure at iteration %lld\n",
                   static_cast<long long>(crash_at));
+      policy->on_failure(FailureSeverity::kProcess);
       ckpt.request_recovery();
       ckpt.snapshot();  // FTI semantics: pending recovery -> restore
       // (5) The decompressed x is the new initial guess (Algorithm 2).
       solver.restart(x_protected);
+      policy->on_recovery(now);
+      last_ckpt = now;  // checkpoint timer restarts after recovery
       std::printf("  recovered from lossy checkpoint; residual now %.3e\n",
                   solver.residual_norm());
       crash_at = -1;  // only crash once

@@ -2,7 +2,8 @@
 /// solver to convergence on a failure-prone (virtual) cluster and compare
 /// the three checkpointing schemes end to end.
 ///
-///   build/examples/resilient_solve [method]    (jacobi | cg | gmres | bicgstab)
+///   build/examples/resilient_solve [method] [--policy fixed|young|adaptive]
+///   (method: jacobi | cg | gmres | bicgstab)
 ///
 /// Prints, per scheme: total virtual wall-clock, failures survived,
 /// checkpoints taken, mean checkpoint size/time, and the fault-tolerance
@@ -17,7 +18,22 @@
 
 int main(int argc, char** argv) {
   using namespace lck;
-  const std::string method = argc > 1 ? argv[1] : "cg";
+  std::string method = "cg";
+  std::string policy = "fixed";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--policy" && i + 1 < argc) {
+      policy = argv[++i];
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr,
+                   "unknown or incomplete option \"%s\"\nusage: %s [method] "
+                   "[--policy fixed|young|adaptive]\n",
+                   arg.c_str(), argv[0]);
+      return 2;
+    } else {
+      method = arg;
+    }
+  }
 
   const bool stationary = method == "jacobi";
   const LocalProblem p = make_local_problem(method, stationary ? 14 : 20,
@@ -31,8 +47,9 @@ int main(int argc, char** argv) {
   const double baseline_seconds = 3600.0;
   std::printf("%s on %lld unknowns: failure-free N = %.0f iterations\n",
               method.c_str(), static_cast<long long>(p.a.rows()), n_base);
-  std::printf("Virtual setting: 2,048 ranks, MTTI = 1 h, baseline %.0f s\n\n",
-              baseline_seconds);
+  std::printf("Virtual setting: 2,048 ranks, MTTI = 1 h, baseline %.0f s, "
+              "pacing policy \"%s\"\n\n",
+              baseline_seconds, policy.c_str());
 
   std::printf("%-13s %-6s %-10s %-7s %-7s %-11s %-11s %-9s %-11s\n",
               "scheme", "mode", "total(s)", "fails", "ckpts", "ckpt MB",
@@ -45,17 +62,20 @@ int main(int argc, char** argv) {
       ResilienceConfig cfg;
       cfg.scheme = scheme;
       cfg.ckpt_mode = mode;
-      cfg.adaptive_error_bound = method == "gmres";
-      cfg.adaptive_theta = 0.25;
-      cfg.mtti_seconds = 3600.0;
-      cfg.seed = 2024;
+      cfg.compression.adaptive_error_bound = method == "gmres";
+      cfg.compression.adaptive_theta = 0.25;
+      cfg.failure.mtti_seconds = 3600.0;
+      cfg.failure.seed = 2024;
       cfg.iteration_seconds = t_it;
       cfg.cluster = ClusterModel{};  // 2,048 ranks
       cfg.dynamic_scale = 78.8e9 / p.vector_bytes();
       cfg.static_bytes = 0.25 * 78.8e9;
-      // First guess for the Young interval from an uncompressed write; the
-      // runner reports the real checkpoint cost for refinement.
-      cfg.ckpt_interval_seconds =
+      // Fixed pacing: first guess for the Young interval from an
+      // uncompressed write (the paper's offline pick). The "young" and
+      // "adaptive" policies derive their own interval from the perf model
+      // and, for adaptive, the observed per-checkpoint costs.
+      cfg.policy.name = policy;
+      cfg.policy.interval_seconds =
           young_interval_seconds(cfg.cluster.write_seconds(78.8e9), 3600.0);
 
       ResilientRunner runner(*solver, cfg);

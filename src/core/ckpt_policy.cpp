@@ -1,0 +1,110 @@
+#include "core/ckpt_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/perf_model.hpp"
+
+namespace lck {
+namespace {
+
+/// Mode-aware optimal interval from a blocking-cost estimate: Young's
+/// inverse for kSync, the overlap-aware fixed point for the staged modes.
+/// Falls back to the configured fixed interval when λ = 0 or the estimate
+/// is degenerate (the optimum diverges — never checkpointing is "optimal"
+/// without failures, but useless as pacing).
+double derive_interval(const PolicyContext& ctx, double blocking,
+                       double drain) {
+  const double t =
+      ctx.mode == CkptMode::kSync
+          ? optimal_interval_seconds(blocking, ctx.lambda)
+          : async_optimal_interval_seconds(blocking, drain, ctx.lambda);
+  if (!std::isfinite(t) || t <= 0.0) return ctx.fixed_interval_seconds;
+  return t;
+}
+
+}  // namespace
+
+FixedIntervalPolicy::FixedIntervalPolicy(PolicyContext ctx)
+    : CheckpointPolicy(std::move(ctx)) {
+  require(ctx_.fixed_interval_seconds > 0.0,
+          "fixed policy: interval must be positive");
+}
+
+FixedIntervalPolicy::FixedIntervalPolicy(double interval_seconds)
+    : FixedIntervalPolicy([&] {
+        PolicyContext ctx;
+        ctx.fixed_interval_seconds = interval_seconds;
+        return ctx;
+      }()) {}
+
+YoungPolicy::YoungPolicy(PolicyContext ctx)
+    : CheckpointPolicy(std::move(ctx)) {
+  interval_ = derive_interval(ctx_, ctx_.predicted_blocking_seconds,
+                              ctx_.predicted_drain_seconds);
+}
+
+AdaptiveCostPolicy::AdaptiveCostPolicy(PolicyContext ctx, double smoothing)
+    : CheckpointPolicy(std::move(ctx)), alpha_(smoothing) {
+  require(alpha_ > 0.0 && alpha_ <= 1.0,
+          "adaptive policy: smoothing must be in (0, 1]");
+  blocking_ewma_ = ctx_.predicted_blocking_seconds;
+  stored_ewma_ = ctx_.predicted_stored_bytes;
+  l2_every_ = ctx_.l2_promote_every;
+  l3_every_ = ctx_.l3_promote_every;
+  interval_ =
+      derive_interval(ctx_, blocking_ewma_, ctx_.predicted_drain_seconds);
+}
+
+void AdaptiveCostPolicy::on_checkpoint_committed(double blocking_seconds,
+                                                 double stored_bytes) {
+  blocking_ewma_ =
+      blocking_ewma_ > 0.0
+          ? (1.0 - alpha_) * blocking_ewma_ + alpha_ * blocking_seconds
+          : blocking_seconds;
+  stored_ewma_ = stored_ewma_ > 0.0
+                     ? (1.0 - alpha_) * stored_ewma_ + alpha_ * stored_bytes
+                     : stored_bytes;
+  rederive();
+}
+
+void AdaptiveCostPolicy::rederive() {
+  // Rescale the byte-proportional model predictions by observed/predicted
+  // stored size: compression makes the real drain and promotion copies much
+  // cheaper than the ratio-1 construction-time guess.
+  const double scale = ctx_.predicted_stored_bytes > 0.0 && stored_ewma_ > 0.0
+                           ? stored_ewma_ / ctx_.predicted_stored_bytes
+                           : 1.0;
+  const double next = derive_interval(ctx_, blocking_ewma_,
+                                      ctx_.predicted_drain_seconds * scale);
+  if (std::abs(next - interval_) > 1e-9 * std::max(1.0, std::abs(interval_)))
+    ++adjustments_;
+  interval_ = next;
+
+  if (ctx_.mode == CkptMode::kTiered) {
+    // Per-tier Young intervals on (observed L1 blocking, scaled L2/L3 copy
+    // costs) with the severity-split rates; the effective cadence promotes
+    // every k-th L1 checkpoint so tier k is refreshed about every t_k*.
+    const std::array<double, 3> costs{blocking_ewma_,
+                                      ctx_.l2_copy_seconds * scale,
+                                      ctx_.l3_copy_seconds * scale};
+    const auto t = tiered_optimal_intervals(costs, ctx_.tier_lambdas);
+    l2_every_ = promote_cadence(interval_, t[1]);
+    l3_every_ = promote_cadence(interval_, t[2]);
+  }
+}
+
+std::unique_ptr<CheckpointPolicy> make_policy(const std::string& name,
+                                              const PolicyContext& ctx) {
+  if (name == "fixed") return std::make_unique<FixedIntervalPolicy>(ctx);
+  if (name == "young") return std::make_unique<YoungPolicy>(ctx);
+  if (name == "adaptive") return std::make_unique<AdaptiveCostPolicy>(ctx);
+  throw config_error("unknown checkpoint policy \"" + name +
+                     "\" (expected \"fixed\", \"young\" or \"adaptive\")");
+}
+
+bool is_known_policy(const std::string& name) noexcept {
+  return name == "fixed" || name == "young" || name == "adaptive";
+}
+
+}  // namespace lck

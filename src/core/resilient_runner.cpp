@@ -17,27 +17,68 @@ const char* to_string(CkptScheme s) noexcept {
   return "?";
 }
 
+void ResilienceConfig::validate() const {
+  std::string errors;
+  const auto violation = [&errors](const char* msg) {
+    if (!errors.empty()) errors += "; ";
+    errors += msg;
+  };
+  if (!(policy.interval_seconds > 0.0))
+    violation("policy.interval_seconds must be positive");
+  if (!is_known_policy(policy.name))
+    violation("policy.name must name a make_policy implementation "
+              "(\"fixed\", \"young\" or \"adaptive\")");
+  if (!(iteration_seconds > 0.0))
+    violation("iteration_seconds must be positive");
+  if (!(dynamic_scale > 0.0)) violation("dynamic_scale must be positive");
+  if (!(static_bytes >= 0.0)) violation("static_bytes must be non-negative");
+  if (!(failure.mtti_seconds > 0.0))
+    violation("failure.mtti_seconds must be positive");
+  double weight_sum = 0.0;
+  bool weight_negative = false;
+  for (const double w : failure.severity_weights) {
+    if (w < 0.0) weight_negative = true;
+    weight_sum += w;
+  }
+  if (weight_negative)
+    violation("failure.severity_weights must be non-negative");
+  else if (!(weight_sum > 0.999 && weight_sum < 1.001))
+    violation("failure.severity_weights must sum to 1");
+  if (tiered.l2_promote_every < 1)
+    violation("tiered.l2_promote_every must be >= 1");
+  if (tiered.l3_promote_every < 1)
+    violation("tiered.l3_promote_every must be >= 1");
+  if (tiered.retention < 1) violation("tiered.retention must be >= 1");
+  if (max_steps < 1) violation("max_steps must be >= 1");
+  if (!errors.empty()) throw config_error(errors);
+}
+
+namespace {
+
+ResilienceConfig validated(ResilienceConfig cfg) {
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
 ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
     : solver_(solver),
-      cfg_(std::move(cfg)),
-      injector_(cfg_.mtti_seconds, cfg_.seed, cfg_.inject_failures) {
-  require(cfg_.ckpt_interval_seconds > 0.0,
-          "runner: checkpoint interval must be positive");
-  require(cfg_.iteration_seconds > 0.0,
-          "runner: iteration time must be positive");
-  require(cfg_.dynamic_scale > 0.0, "runner: dynamic scale must be positive");
-
+      cfg_(validated(std::move(cfg))),
+      injector_(cfg_.failure.mtti_seconds, cfg_.failure.seed,
+                cfg_.failure.inject) {
   switch (cfg_.scheme) {
     case CkptScheme::kTraditional:
       compressor_ = std::make_unique<NoneCompressor>();
       break;
     case CkptScheme::kLossless:
-      compressor_ = make_compressor(cfg_.lossless_compressor);
+      compressor_ = make_compressor(cfg_.compression.lossless);
       require(!compressor_->lossy(),
               "runner: lossless scheme given a lossy compressor");
       break;
     case CkptScheme::kLossy:
-      compressor_ = make_compressor(cfg_.lossy_compressor, cfg_.lossy_eb);
+      compressor_ =
+          make_compressor(cfg_.compression.lossy, cfg_.compression.lossy_eb);
       lossy_ = dynamic_cast<LossyCompressor*>(compressor_.get());
       require(lossy_ != nullptr,
               "runner: lossy scheme requires a lossy compressor");
@@ -48,12 +89,13 @@ ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
     // Canonical 3-level hierarchy with virtual-time promotion: the runner
     // itself issues promote_now() when the simulated background channel
     // finishes a copy, so runs are bit-stable regardless of host speed.
-    auto tiered =
-        make_tiered_store(cfg_.tier_retention, cfg_.l2_promote_every,
-                          cfg_.l3_promote_every, "", /*auto_promote=*/false);
+    auto tiered = make_tiered_store(cfg_.tiered.retention,
+                                    cfg_.tiered.l2_promote_every,
+                                    cfg_.tiered.l3_promote_every, "",
+                                    /*auto_promote=*/false);
     tiered_ = tiered.get();
     store = std::move(tiered);
-    injector_.set_severity_weights(cfg_.severity_weights);
+    injector_.set_severity_weights(cfg_.failure.severity_weights);
   } else {
     store = std::make_unique<MemoryStore>();
   }
@@ -65,6 +107,54 @@ ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
   // parked far away so it never fights the hierarchy.
   manager_->set_retention(cfg_.ckpt_mode == CkptMode::kTiered ? (1 << 28) : 2);
   register_variables();
+  policy_ = make_policy(cfg_.policy.name, make_policy_context());
+}
+
+PolicyContext ResilientRunner::make_policy_context() const {
+  PolicyContext ctx;
+  ctx.mode = cfg_.ckpt_mode;
+  ctx.lambda = cfg_.failure.inject ? 1.0 / cfg_.failure.mtti_seconds : 0.0;
+  ctx.fixed_interval_seconds = cfg_.policy.interval_seconds;
+
+  // Cluster-scale raw bytes of one checkpoint: the lossy scheme saves only
+  // x (Algorithm 2); the others save every dynamic vector.
+  double raw = 0.0;
+  if (cfg_.scheme == CkptScheme::kLossy) {
+    raw = static_cast<double>(solver_.solution().size()) * sizeof(double);
+  } else {
+    for (const auto& var : solver_.checkpoint_vectors())
+      raw += static_cast<double>(var.data->size()) * sizeof(double);
+  }
+  raw *= cfg_.dynamic_scale;
+
+  // Ratio-1 (uncompressed) predictions — conservative; the adaptive policy
+  // replaces them with observed costs as checkpoints commit.
+  const double stored = raw;
+  ctx.predicted_stored_bytes = stored;
+  const double t_full = cfg_.cluster.write_seconds(stored) +
+                        compress_cost(raw);
+  switch (cfg_.ckpt_mode) {
+    case CkptMode::kSync:
+      ctx.predicted_blocking_seconds = t_full;
+      ctx.predicted_drain_seconds = t_full;
+      break;
+    case CkptMode::kAsync:
+      ctx.predicted_blocking_seconds = cfg_.cluster.stage_seconds(raw);
+      ctx.predicted_drain_seconds = t_full;
+      break;
+    case CkptMode::kTiered:
+      ctx.predicted_blocking_seconds = cfg_.cluster.stage_seconds(raw);
+      ctx.predicted_drain_seconds =
+          cfg_.cluster.local_write_seconds(stored) + compress_cost(raw);
+      break;
+  }
+  ctx.l2_copy_seconds = cfg_.cluster.partner_write_seconds(stored);
+  ctx.l3_copy_seconds = cfg_.cluster.write_seconds(stored);
+  ctx.tier_lambdas =
+      severity_tier_lambdas(ctx.lambda, cfg_.failure.severity_weights);
+  ctx.l2_promote_every = cfg_.tiered.l2_promote_every;
+  ctx.l3_promote_every = cfg_.tiered.l3_promote_every;
+  return ctx;
 }
 
 void ResilientRunner::register_variables() {
@@ -129,9 +219,10 @@ double ResilientRunner::recovery_duration(double stored_bytes,
 }
 
 void ResilientRunner::refresh_adaptive_bound() {
-  if (lossy_ == nullptr || !cfg_.adaptive_error_bound) return;
-  const double eb = theorem3_gmres_error_bound(
-      solver_.residual_norm(), solver_.rhs_norm(), cfg_.adaptive_theta);
+  if (lossy_ == nullptr || !cfg_.compression.adaptive_error_bound) return;
+  const double eb = theorem3_gmres_error_bound(solver_.residual_norm(),
+                                               solver_.rhs_norm(),
+                                               cfg_.compression.adaptive_theta);
   lossy_->set_error_bound(ErrorBound::pointwise_rel(eb));
 }
 
@@ -178,6 +269,7 @@ bool ResilientRunner::do_checkpoint() {
     result_.compression_ratio =
         static_cast<double>(rec.raw_bytes) /
         static_cast<double>(rec.stored_bytes);
+  policy_->on_checkpoint_committed(duration, stored_bytes_last_);
   return true;
 }
 
@@ -222,10 +314,15 @@ void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
                                         raw_dyn_bytes_last_};
     // Only versions still resident in some tier can ever be recovered;
     // drop size entries older than the deepest possible retention window
-    // so the map stays O(retention) over arbitrarily long runs.
+    // so the map stays O(retention) over arbitrarily long runs. The window
+    // follows the policy's *current* cadence; if an adaptive policy later
+    // stretches it, recovery from an already-pruned entry falls back to the
+    // last committed sizes (tiered_recovery_duration handles the miss).
     const int keep_span =
-        cfg_.tier_retention *
-            std::max({1, cfg_.l2_promote_every, cfg_.l3_promote_every}) +
+        cfg_.tiered.retention * std::max({1, cfg_.tiered.l2_promote_every,
+                                          cfg_.tiered.l3_promote_every,
+                                          policy_->l2_promote_every(),
+                                          policy_->l3_promote_every()}) +
         1;
     version_bytes_.erase(
         version_bytes_.begin(),
@@ -245,6 +342,7 @@ void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
     result_.compression_ratio =
         static_cast<double>(pending_rec_.raw_bytes) /
         static_cast<double>(pending_rec_.stored_bytes);
+  policy_->on_checkpoint_committed(pending_blocking_, stored_bytes_last_);
   pending_version_ = -1;
   pending_known_ = false;
   pending_blocking_ = 0.0;
@@ -338,12 +436,12 @@ void ResilientRunner::schedule_virtual_promotions(int version,
                                                   double stored_bytes,
                                                   double ready_t) {
   promo_tail_t_ = std::max(promo_tail_t_, ready_t);
-  if (version % cfg_.l2_promote_every == 0) {
+  if (version % policy_->l2_promote_every() == 0) {
     const double cost = cfg_.cluster.partner_write_seconds(stored_bytes);
     promo_tail_t_ += cost;
     promo_queue_.push_back({version, 1, promo_tail_t_, cost});
   }
-  if (version % cfg_.l3_promote_every == 0) {
+  if (version % policy_->l3_promote_every() == 0) {
     const double cost = cfg_.cluster.write_seconds(stored_bytes);
     promo_tail_t_ += cost;
     promo_queue_.push_back({version, 2, promo_tail_t_, cost});
@@ -403,6 +501,7 @@ double ResilientRunner::tiered_recovery_duration(int version, int level,
 void ResilientRunner::note_failure(FailureSeverity sev) {
   ++result_.failures;
   ++result_.failures_by_severity[severity_index(sev)];
+  policy_->on_failure(sev);
   if (tiered_ != nullptr) {
     // Copies whose virtual window closed before the failure are durable;
     // everything still on the channel is lost with the staging buffers.
@@ -477,6 +576,7 @@ void ResilientRunner::handle_failure() {
   }
   if (tiered_ != nullptr) promo_tail_t_ = std::max(promo_tail_t_, t_);
   last_ckpt_t_ = t_;  // checkpoint timer restarts after recovery
+  policy_->on_recovery(t_);
 }
 
 ResilienceResult ResilientRunner::run() {
@@ -491,9 +591,9 @@ ResilienceResult ResilientRunner::run() {
     solver_.step();
     ++result_.executed_steps;
     t_ += cfg_.iteration_seconds;
+    policy_->on_iteration(t_);
 
-    if (!solver_.converged() &&
-        t_ - last_ckpt_t_ >= cfg_.ckpt_interval_seconds) {
+    if (!solver_.converged() && policy_->should_checkpoint(t_, last_ckpt_t_)) {
       if (staged)
         do_stage();
       else
@@ -502,6 +602,8 @@ ResilienceResult ResilientRunner::run() {
   }
   finish_pending_at_exit();
 
+  result_.policy_interval_final = policy_->current_interval();
+  result_.interval_adjustments = policy_->interval_adjustments();
   result_.converged = solver_.converged();
   result_.convergence_iteration = solver_.iteration();
   result_.final_residual_norm = solver_.residual_norm();

@@ -36,6 +36,7 @@
 
 #include "ckpt/checkpoint_manager.hpp"
 #include "common/severity.hpp"
+#include "core/ckpt_policy.hpp"
 #include "sim/cluster_model.hpp"
 #include "sim/failure.hpp"
 #include "solvers/solver.hpp"
@@ -49,29 +50,63 @@ enum class CkptScheme { kTraditional, kLossless, kLossy };
 
 [[nodiscard]] const char* to_string(CkptScheme s) noexcept;
 
-struct ResilienceConfig {
-  CkptScheme scheme = CkptScheme::kLossy;
-
-  /// Synchronous (paper) or staged/overlapped checkpoint writes.
-  CkptMode ckpt_mode = CkptMode::kSync;
-
-  /// Compressor names (see make_compressor) for the two compressed schemes.
-  std::string lossless_compressor = "deflate";
-  std::string lossy_compressor = "sz";
+/// Compressor selection for the compressed schemes (names resolved through
+/// make_compressor) plus the Theorem-3 adaptive error bound.
+struct CompressionConfig {
+  std::string lossless = "deflate";
+  std::string lossy = "sz";
   ErrorBound lossy_eb = ErrorBound::pointwise_rel(1e-4);
 
   /// Theorem 3: refresh the lossy error bound to θ·||r||/||b|| before every
   /// checkpoint (the paper's GMRES setting).
   bool adaptive_error_bound = false;
   double adaptive_theta = 1.0;
+};
 
-  /// Virtual seconds between checkpoints (Young-optimal in the paper).
-  double ckpt_interval_seconds = 420.0;
-
-  /// Failure injection (λ = 1/MTTI); disable for failure-free baselines.
+/// Fail-stop failure injection (λ = 1/MTTI) and the severity mix of the
+/// multi-level hierarchy.
+struct FailureConfig {
   double mtti_seconds = 3600.0;
-  bool inject_failures = true;
+  /// Disable for failure-free baselines.
+  bool inject = true;
   std::uint64_t seed = 1;
+  /// Probability of each failure severity (process, node, partition,
+  /// system); must sum to 1. Only sampled in tiered mode.
+  std::array<double, kSeverityCount> severity_weights =
+      kDefaultSeverityWeights;
+};
+
+/// Multi-level hierarchy knobs (CkptMode::kTiered only).
+struct TieredConfig {
+  /// Every k-th committed checkpoint is promoted to the L2 partner tier.
+  int l2_promote_every = 1;
+  /// Every k-th committed checkpoint is promoted to the L3 PFS tier.
+  int l3_promote_every = 4;
+  /// Committed versions each tier retains (older ones pruned per tier).
+  int retention = 2;
+};
+
+/// Checkpoint pacing (see ckpt_policy.hpp for the policy implementations).
+struct PolicyConfig {
+  /// make_policy name: "fixed" (the paper's offline interval, default),
+  /// "young" (model-derived once) or "adaptive" (online re-derivation).
+  std::string name = "fixed";
+  /// Virtual seconds between checkpoints for the fixed policy
+  /// (Young-optimal in the paper), and every policy's fallback when
+  /// failure injection is off.
+  double interval_seconds = 420.0;
+};
+
+struct ResilienceConfig {
+  CkptScheme scheme = CkptScheme::kLossy;
+
+  /// Synchronous (paper), staged/overlapped, or multi-level writes.
+  CkptMode ckpt_mode = CkptMode::kSync;
+
+  CompressionConfig compression{};
+  FailureConfig failure{};
+  TieredConfig tiered{};
+  PolicyConfig policy{};
 
   /// Virtual cost of one solver iteration at cluster scale (calibrated per
   /// method, e.g. GMRES ≈ 1.22 s at 2,048 ranks — paper §4.3).
@@ -88,21 +123,12 @@ struct ResilienceConfig {
   /// Cluster-scale bytes of static state (A, M, b) re-read on recovery.
   double static_bytes = 0.0;
 
-  // ----- kTiered knobs ------------------------------------------------------
-
-  /// Probability of each failure severity (process, node, partition,
-  /// system); must sum to 1. Only sampled in tiered mode.
-  std::array<double, kSeverityCount> severity_weights =
-      kDefaultSeverityWeights;
-  /// Every k-th committed checkpoint is promoted to the L2 partner tier.
-  int l2_promote_every = 1;
-  /// Every k-th committed checkpoint is promoted to the L3 PFS tier.
-  int l3_promote_every = 4;
-  /// Committed versions each tier retains (older ones pruned per tier).
-  int tier_retention = 2;
-
   /// Safety cap on executed solver steps.
   index_t max_steps = 2000000;
+
+  /// Check every knob and throw one config_error naming *all* violations
+  /// (one clear message per violation). Called by the runner constructor.
+  void validate() const;
 };
 
 struct ResilienceResult {
@@ -159,6 +185,13 @@ struct ResilienceResult {
   /// achieved dynamic-state compression ratio.
   double mean_ckpt_stored_bytes = 0.0;
   double compression_ratio = 1.0;
+
+  /// The pacing policy's target interval when the run ended (the fixed
+  /// interval for "fixed", the derived one for "young"/"adaptive") and how
+  /// many times it changed mid-run (0 for the static policies) — so benches
+  /// and tests can observe pacing without parsing logs.
+  double policy_interval_final = 0.0;
+  int interval_adjustments = 0;
 };
 
 /// Drives one solver instance to convergence under the configured scheme.
@@ -169,8 +202,15 @@ class ResilientRunner {
   /// Execute to convergence (or the step cap). May be called once.
   [[nodiscard]] ResilienceResult run();
 
+  /// The pacing policy driving this run (for observability; owned).
+  [[nodiscard]] const CheckpointPolicy& policy() const noexcept {
+    return *policy_;
+  }
+
  private:
   void register_variables();
+  /// Model predictions and failure rates the pacing policy is built from.
+  [[nodiscard]] PolicyContext make_policy_context() const;
   /// Scheme-dependent virtual cost of (de)compressing `raw_bytes` of
   /// dynamic state (zero for the traditional scheme). Shared by every
   /// checkpoint/drain/recovery duration below.
@@ -215,6 +255,7 @@ class ResilientRunner {
 
   IterativeSolver& solver_;
   ResilienceConfig cfg_;
+  std::unique_ptr<CheckpointPolicy> policy_;
   std::unique_ptr<Compressor> compressor_;
   LossyCompressor* lossy_ = nullptr;  // non-null iff scheme == kLossy
   std::unique_ptr<CheckpointManager> manager_;

@@ -80,6 +80,40 @@ double expected_overhead_ratio_async(double t_stage, double t_drain,
   return f / (1.0 - f);
 }
 
+double optimal_interval_seconds(double t_blocking, double lambda) noexcept {
+  if (lambda <= 0.0 || t_blocking <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return std::sqrt(2.0 * t_blocking / lambda);
+}
+
+double async_optimal_interval_seconds(double t_stage, double t_drain,
+                                      double lambda) noexcept {
+  if (lambda <= 0.0) return std::numeric_limits<double>::infinity();
+  t_stage = std::max(t_stage, 0.0);
+  t_drain = std::max(t_drain, 0.0);
+  if (t_stage <= 0.0 && t_drain <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  const double no_backpressure = std::sqrt(2.0 * t_stage / lambda);
+  if (no_backpressure >= t_drain) return no_backpressure;
+  // Back-pressure branch: blocking = t_stage + t_drain − t, so the fixed
+  // point solves λt²/2 + t − (t_stage + t_drain) = 0.
+  const double t =
+      (std::sqrt(1.0 + 2.0 * lambda * (t_stage + t_drain)) - 1.0) / lambda;
+  return std::min(t, t_drain);
+}
+
+int promote_cadence(double base_interval_seconds,
+                    double tier_interval_seconds) noexcept {
+  constexpr int kMaxCadence = 1000000;
+  if (!(base_interval_seconds > 0.0) || !std::isfinite(base_interval_seconds))
+    return 1;
+  if (!std::isfinite(tier_interval_seconds)) return kMaxCadence;
+  const double k = std::round(tier_interval_seconds / base_interval_seconds);
+  if (!(k >= 1.0)) return 1;
+  if (k >= static_cast<double>(kMaxCadence)) return kMaxCadence;
+  return static_cast<int>(k);
+}
+
 std::array<double, 3> severity_tier_lambdas(
     double lambda,
     const std::array<double, kSeverityCount>& severity_weights) noexcept {

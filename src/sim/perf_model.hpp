@@ -90,6 +90,33 @@ struct StationaryBound {
     double t_stage, double t_drain, double lambda,
     double interval_seconds) noexcept;
 
+// ----- inverse helpers for checkpoint-pacing policies -----------------------
+
+/// Young's formula inverted onto the failure *rate*: the optimal interval
+/// for a per-checkpoint blocking cost c under rate λ is t* = sqrt(2c/λ).
+/// Returns +inf when λ ≤ 0 or c ≤ 0 (without failures, or with free
+/// checkpoints, the first-order optimum diverges).
+[[nodiscard]] double optimal_interval_seconds(double t_blocking,
+                                              double lambda) noexcept;
+
+/// Self-consistent optimal interval for the staged pipeline, where the
+/// blocking cost itself depends on the interval through back-pressure
+/// (async_blocking_seconds): solves the fixed point
+///   t = sqrt(2·(t_stage + max(0, t_drain − t)) / λ).
+/// When the Young interval of the staging cost alone already exceeds the
+/// drain there is no back-pressure and that interval is returned; otherwise
+/// the quadratic back-pressure branch applies, capped at t_drain.
+[[nodiscard]] double async_optimal_interval_seconds(double t_stage,
+                                                    double t_drain,
+                                                    double lambda) noexcept;
+
+/// Effective promotion cadence for a tier whose own optimal interval is
+/// `tier_interval_seconds` when L1 checkpoints land every
+/// `base_interval_seconds`: round(tier/base) clamped to [1, 1e6] (an
+/// infinite tier interval — λ_k = 0 — maps to the cap: practically never).
+[[nodiscard]] int promote_cadence(double base_interval_seconds,
+                                  double tier_interval_seconds) noexcept;
+
 // ----- multi-level (tiered) checkpoint hierarchy model ----------------------
 
 /// Split the total failure rate λ = 1/MTTI into per-recovery-tier rates for

@@ -453,10 +453,10 @@ ResilienceConfig async_config(CkptScheme scheme) {
   ResilienceConfig cfg;
   cfg.scheme = scheme;
   cfg.ckpt_mode = CkptMode::kAsync;
-  cfg.ckpt_interval_seconds = 20.0;
-  cfg.mtti_seconds = 60.0;  // aggressive failures for coverage
+  cfg.policy.interval_seconds = 20.0;
+  cfg.failure.mtti_seconds = 60.0;  // aggressive failures for coverage
   cfg.iteration_seconds = 5.0;
-  cfg.seed = 7;
+  cfg.failure.seed = 7;
   cfg.dynamic_scale = 1.0;
   cfg.cluster.ranks = 64;
   cfg.cluster.pfs_per_rank_overhead = 0.001;
@@ -500,8 +500,8 @@ TEST(AsyncRunner, FailureDuringDrainFallsBackToCommittedVersion) {
   auto solver = p.make_solver();
   ResilienceConfig cfg = async_config(CkptScheme::kTraditional);
   cfg.cluster.pfs_write_bw = 100.0;  // glacial PFS: drains span intervals
-  cfg.mtti_seconds = 120.0;
-  cfg.seed = 3;
+  cfg.failure.mtti_seconds = 120.0;
+  cfg.failure.seed = 3;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged);
@@ -515,7 +515,7 @@ TEST(AsyncRunner, BackpressureAccruesWhenDrainOutlivesInterval) {
   const LocalProblem p = make_local_problem("cg", 8, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = async_config(CkptScheme::kTraditional);
-  cfg.inject_failures = false;
+  cfg.failure.inject = false;
   cfg.cluster.pfs_write_bw = 100.0;  // drain ≫ interval ⇒ every stage waits
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
@@ -542,12 +542,12 @@ TEST(AsyncRunner, BlockingCheckpointTimeDropsVsSync) {
 
   ResilienceConfig sync_cfg = async_config(CkptScheme::kTraditional);
   sync_cfg.ckpt_mode = CkptMode::kSync;
-  sync_cfg.inject_failures = false;
+  sync_cfg.failure.inject = false;
   auto s1 = p.make_solver();
   const auto sync_res = ResilientRunner(*s1, sync_cfg).run();
 
   ResilienceConfig async_cfg_ = async_config(CkptScheme::kTraditional);
-  async_cfg_.inject_failures = false;
+  async_cfg_.failure.inject = false;
   auto s2 = p.make_solver();
   const auto async_res = ResilientRunner(*s2, async_cfg_).run();
 
@@ -593,7 +593,7 @@ TEST(AsyncRunner, RecoveredStateMatchesSyncForSameCheckpointData) {
 TEST(AsyncRunner, BitStableAcrossRerunsForFixedSeed) {
   const LocalProblem p = make_local_problem("cg", 7, 1e-8);
   ResilienceConfig cfg = async_config(CkptScheme::kLossy);
-  cfg.seed = 31;
+  cfg.failure.seed = 31;
 
   auto s1 = p.make_solver();
   const auto r1 = ResilientRunner(*s1, cfg).run();
@@ -623,8 +623,8 @@ TEST(AsyncRunner, RetentionTwoSurvivesAbortedDrains) {
   auto solver = p.make_solver();
   ResilienceConfig cfg = async_config(CkptScheme::kLossy);
   cfg.cluster.pfs_write_bw = 5e4;
-  cfg.mtti_seconds = 90.0;
-  cfg.seed = 19;
+  cfg.failure.mtti_seconds = 90.0;
+  cfg.failure.seed = 19;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged);

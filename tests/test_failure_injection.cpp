@@ -19,12 +19,12 @@ ResilienceConfig lossy_config(std::uint64_t seed, bool adaptive,
                               ErrorBound eb = ErrorBound::pointwise_rel(1e-4)) {
   ResilienceConfig cfg;
   cfg.scheme = CkptScheme::kLossy;
-  cfg.lossy_eb = eb;
-  cfg.adaptive_error_bound = adaptive;
-  cfg.ckpt_interval_seconds = 20.0;
-  cfg.mtti_seconds = 60.0;
+  cfg.compression.lossy_eb = eb;
+  cfg.compression.adaptive_error_bound = adaptive;
+  cfg.policy.interval_seconds = 20.0;
+  cfg.failure.mtti_seconds = 60.0;
   cfg.iteration_seconds = 5.0;
-  cfg.seed = seed;
+  cfg.failure.seed = seed;
   cfg.cluster.ranks = 64;
   cfg.cluster.pfs_per_rank_overhead = 0.001;
   cfg.static_bytes = 1e6;

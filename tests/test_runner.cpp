@@ -15,10 +15,10 @@ namespace {
 ResilienceConfig base_config(CkptScheme scheme) {
   ResilienceConfig cfg;
   cfg.scheme = scheme;
-  cfg.ckpt_interval_seconds = 20.0;
-  cfg.mtti_seconds = 60.0;  // aggressive failures for test coverage
+  cfg.policy.interval_seconds = 20.0;
+  cfg.failure.mtti_seconds = 60.0;  // aggressive failures for test coverage
   cfg.iteration_seconds = 5.0;  // short local solves still span many MTTIs
-  cfg.seed = 7;
+  cfg.failure.seed = 7;
   cfg.dynamic_scale = 1.0;
   cfg.cluster.ranks = 64;
   cfg.cluster.pfs_per_rank_overhead = 0.001;
@@ -40,7 +40,7 @@ TEST(Runner, FailureFreeRunMatchesPlainSolve) {
 
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kLossy);
-  cfg.inject_failures = false;
+  cfg.failure.inject = false;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
 
@@ -75,7 +75,7 @@ TEST_P(RunnerScheme, JacobiConvergesUnderFailures) {
   const LocalProblem p = make_local_problem("jacobi", 7, 1e-6);
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(scheme);
-  cfg.seed = 11;
+  cfg.failure.seed = 11;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged) << to_string(scheme);
@@ -87,8 +87,8 @@ TEST_P(RunnerScheme, GmresConvergesUnderFailures) {
   const LocalProblem p = make_local_problem("gmres", 7, 1e-7);
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(scheme);
-  cfg.adaptive_error_bound = scheme == CkptScheme::kLossy;
-  cfg.seed = 13;
+  cfg.compression.adaptive_error_bound = scheme == CkptScheme::kLossy;
+  cfg.failure.seed = 13;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged) << to_string(scheme);
@@ -112,7 +112,7 @@ TEST(Runner, TraditionalRecoveryIsIterationExactForCg) {
 
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kTraditional);
-  cfg.seed = 17;
+  cfg.failure.seed = 17;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   ASSERT_GT(res.failures, 0);
@@ -126,8 +126,8 @@ TEST(Runner, LossyRecoveryMayDelayCgButConverges) {
 
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kLossy);
-  cfg.lossy_eb = ErrorBound::pointwise_rel(1e-4);
-  cfg.seed = 17;
+  cfg.compression.lossy_eb = ErrorBound::pointwise_rel(1e-4);
+  cfg.failure.seed = 17;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   ASSERT_GT(res.recoveries, 0);
@@ -144,12 +144,12 @@ TEST(Runner, LossyCheckpointsAreSmallerThanTraditional) {
 
   auto s1 = p.make_solver();
   ResilienceConfig c1 = base_config(CkptScheme::kTraditional);
-  c1.inject_failures = false;
+  c1.failure.inject = false;
   const auto r1 = ResilientRunner(*s1, c1).run();
 
   auto s2 = p.make_solver();
   ResilienceConfig c2 = base_config(CkptScheme::kLossy);
-  c2.inject_failures = false;
+  c2.failure.inject = false;
   const auto r2 = ResilientRunner(*s2, c2).run();
 
   ASSERT_GT(r1.checkpoints, 0);
@@ -163,8 +163,8 @@ TEST(Runner, CheckpointIntervalIsHonoured) {
   const LocalProblem p = make_local_problem("jacobi", 6, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kTraditional);
-  cfg.inject_failures = false;
-  cfg.ckpt_interval_seconds = 50.0;
+  cfg.failure.inject = false;
+  cfg.policy.interval_seconds = 50.0;
   cfg.iteration_seconds = 1.0;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
@@ -178,7 +178,7 @@ TEST(Runner, VirtualTimeDecomposes) {
   const LocalProblem p = make_local_problem("cg", 8, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kLossy);
-  cfg.inject_failures = false;
+  cfg.failure.inject = false;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   const double expected = static_cast<double>(res.executed_steps) *
@@ -191,9 +191,9 @@ TEST(Runner, FailureBeforeFirstCheckpointRestartsFromScratch) {
   const LocalProblem p = make_local_problem("jacobi", 6, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kLossy);
-  cfg.ckpt_interval_seconds = 1e9;  // never checkpoint
-  cfg.mtti_seconds = 600.0;
-  cfg.seed = 23;
+  cfg.policy.interval_seconds = 1e9;  // never checkpoint
+  cfg.failure.mtti_seconds = 600.0;
+  cfg.failure.seed = 23;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged);
@@ -211,9 +211,9 @@ TEST(Runner, AdaptiveBoundTightensWithConvergence) {
   const LocalProblem p = make_local_problem("gmres", 7, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kLossy);
-  cfg.adaptive_error_bound = true;
-  cfg.inject_failures = false;
-  cfg.ckpt_interval_seconds = 10.0;
+  cfg.compression.adaptive_error_bound = true;
+  cfg.failure.inject = false;
+  cfg.policy.interval_seconds = 10.0;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged);
@@ -224,7 +224,7 @@ TEST(Runner, RejectsBadConfiguration) {
   const LocalProblem p = make_local_problem("cg", 4, 1e-6);
   auto solver = p.make_solver();
   ResilienceConfig cfg = base_config(CkptScheme::kLossy);
-  cfg.ckpt_interval_seconds = 0.0;
+  cfg.policy.interval_seconds = 0.0;
   EXPECT_THROW(ResilientRunner(*solver, cfg), config_error);
   cfg = base_config(CkptScheme::kLossy);
   cfg.iteration_seconds = -1.0;
@@ -234,7 +234,7 @@ TEST(Runner, RejectsBadConfiguration) {
 TEST(Runner, DeterministicForFixedSeed) {
   const LocalProblem p = make_local_problem("cg", 7, 1e-8);
   ResilienceConfig cfg = base_config(CkptScheme::kLossy);
-  cfg.seed = 31;
+  cfg.failure.seed = 31;
 
   auto s1 = p.make_solver();
   const auto r1 = ResilientRunner(*s1, cfg).run();

@@ -363,16 +363,16 @@ ResilienceConfig tiered_config(CkptScheme scheme) {
   ResilienceConfig cfg;
   cfg.scheme = scheme;
   cfg.ckpt_mode = CkptMode::kTiered;
-  cfg.ckpt_interval_seconds = 20.0;
-  cfg.mtti_seconds = 60.0;  // aggressive failures for coverage
+  cfg.policy.interval_seconds = 20.0;
+  cfg.failure.mtti_seconds = 60.0;  // aggressive failures for coverage
   cfg.iteration_seconds = 5.0;
-  cfg.seed = 7;
+  cfg.failure.seed = 7;
   cfg.dynamic_scale = 1.0;
   cfg.cluster.ranks = 64;
   cfg.cluster.pfs_per_rank_overhead = 0.001;
   cfg.static_bytes = 1e6;
-  cfg.l2_promote_every = 1;
-  cfg.l3_promote_every = 2;
+  cfg.tiered.l2_promote_every = 1;
+  cfg.tiered.l3_promote_every = 2;
   return cfg;
 }
 
@@ -414,7 +414,7 @@ TEST(TieredRunner, ProcessOnlyFailuresRecoverFromL1) {
   const LocalProblem p = make_local_problem("cg", 8, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = tiered_config(CkptScheme::kLossy);
-  cfg.severity_weights = {1.0, 0.0, 0.0, 0.0};
+  cfg.failure.severity_weights = {1.0, 0.0, 0.0, 0.0};
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged);
@@ -429,9 +429,9 @@ TEST(TieredRunner, SystemFailuresRecoverOnlyFromPfsTier) {
   const LocalProblem p = make_local_problem("cg", 8, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = tiered_config(CkptScheme::kTraditional);
-  cfg.severity_weights = {0.0, 0.0, 0.0, 1.0};
-  cfg.l3_promote_every = 1;  // give L3 every version
-  cfg.mtti_seconds = 120.0;
+  cfg.failure.severity_weights = {0.0, 0.0, 0.0, 1.0};
+  cfg.tiered.l3_promote_every = 1;  // give L3 every version
+  cfg.failure.mtti_seconds = 120.0;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged);
@@ -448,7 +448,7 @@ TEST(TieredRunner, BlockingCostAtMostAsyncSingleLevel) {
   // drain, so tiered back-pressure can only be rarer.
   const LocalProblem p = make_local_problem("cg", 8, 1e-8);
   ResilienceConfig base = tiered_config(CkptScheme::kTraditional);
-  base.inject_failures = false;
+  base.failure.inject = false;
   base.cluster.pfs_write_bw = 1e5;  // slow PFS: async mode back-pressures
 
   ResilienceConfig async_cfg = base;
@@ -471,7 +471,7 @@ TEST(TieredRunner, BlockingCostAtMostAsyncSingleLevel) {
 TEST(TieredRunner, BitStableAcrossRerunsForFixedSeed) {
   const LocalProblem p = make_local_problem("cg", 7, 1e-8);
   ResilienceConfig cfg = tiered_config(CkptScheme::kLossy);
-  cfg.seed = 31;
+  cfg.failure.seed = 31;
 
   auto s1 = p.make_solver();
   const auto r1 = ResilientRunner(*s1, cfg).run();
@@ -495,7 +495,7 @@ TEST(TieredRunner, VirtualClockDecomposesExactly) {
   const LocalProblem p = make_local_problem("cg", 8, 1e-8);
   auto solver = p.make_solver();
   ResilienceConfig cfg = tiered_config(CkptScheme::kLossy);
-  cfg.inject_failures = false;
+  cfg.failure.inject = false;
   ResilientRunner runner(*solver, cfg);
   const auto res = runner.run();
   EXPECT_TRUE(res.converged);
