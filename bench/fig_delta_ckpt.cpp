@@ -1,0 +1,234 @@
+/// Beyond the paper: chunked content-addressed delta checkpointing vs the
+/// full-stream serializer, driven through the real CheckpointManager over
+/// real solver trajectories.
+///
+///   build/bench/fig_delta_ckpt [--json <path>]
+///
+/// The checkpointed state is the application-style full dump the motivation
+/// targets: the static matrix payload (A's value array, re-stored verbatim
+/// by every full checkpoint) plus the method's dynamic vectors. Between
+/// consecutive checkpoints the static payload never changes and most
+/// late-convergence dynamic chunks barely do, so the delta encoder turns
+/// them into 9-byte references.
+///
+/// (a) Stored bytes per checkpoint, full vs delta, per method (local
+///     measurement scaled to the Table-3 per-rank sizes).
+/// (b) Blocking (sync write) time per checkpoint across Table-3 ranks.
+/// (c) The L3 dedup store's view of the same streams: physical vs logical
+///     bytes once identical chunks across versions are stored once.
+///
+/// Exit code enforces the PR's claims: for every method the delta stream is
+/// no larger than the full stream from the second checkpoint on, and the
+/// traditional CG configuration stores >= 2x less with deltas at 2,048
+/// ranks.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ckpt/checkpoint_manager.hpp"
+#include "ckpt/chunk/dedup_store.hpp"
+
+namespace {
+
+struct MethodDelta {
+  std::string method;
+  double mean_full_bytes = 0.0;    ///< Local bytes, checkpoints 2..N.
+  double mean_delta_bytes = 0.0;   ///< Local bytes, checkpoints 2..N.
+  double first_full_bytes = 0.0;   ///< Local bytes of checkpoint 1.
+  double first_delta_bytes = 0.0;
+  std::size_t chunks_deduped = 0;
+  bool delta_le_full_after_2 = true;
+  double dedup_physical = 0.0;     ///< L3 dedup store residency (local bytes).
+  double dedup_logical = 0.0;
+  double local_vector_bytes = 0.0;
+};
+
+/// Drive one method's solver, checkpointing the full application state
+/// (static matrix payload + dynamic vectors) through two managers — legacy
+/// full streams vs chunked deltas — at ~`checkpoints` evenly spaced points.
+MethodDelta measure_method(const std::string& method, int checkpoints,
+                           int max_chain) {
+  using namespace lck;
+  const bool stationary = method == "jacobi";
+  const LocalProblem p =
+      make_local_problem(method, stationary ? 14 : 16,
+                         stationary ? 1e-4 : 1e-8, 200000,
+                         /*precondition=*/false);
+
+  auto probe = p.make_solver();
+  probe->solve();
+  const index_t total = probe->iteration();
+  const index_t stride = std::max<index_t>(1, total / checkpoints);
+
+  // The static payload: A's value array, exactly what an application-level
+  // "dump everything" checkpoint re-stores each time.
+  Vector static_payload(p.a.values().begin(), p.a.values().end());
+
+  auto solver = p.make_solver();
+  NoneCompressor none;  // traditional scheme: verbatim storage
+  auto store_full = std::make_unique<MemoryStore>();
+  CheckpointManager mgr_full(std::move(store_full), &none);
+  auto store_delta = std::make_unique<MemoryStore>();
+  auto* store_delta_raw = store_delta.get();
+  CheckpointManager mgr_delta(std::move(store_delta), &none);
+  mgr_delta.set_delta(max_chain, /*chunk_elems=*/256);
+  mgr_delta.set_retention(2 * max_chain + 2);
+
+  const auto protect_all = [&](CheckpointManager& mgr) {
+    mgr.protect(1000, "A", &static_payload);
+    int id = 0;
+    for (auto& var : solver->checkpoint_vectors())
+      mgr.protect(id++, var.name, var.data);
+  };
+  protect_all(mgr_full);
+  protect_all(mgr_delta);
+
+  MethodDelta out;
+  out.method = method;
+  out.local_vector_bytes = p.vector_bytes();
+  std::vector<int> delta_versions;
+  int taken = 0;
+  index_t done = 0;
+  while (done < total && !solver->converged()) {
+    solver->step();
+    ++done;
+    if (done % stride != 0) continue;
+    const CheckpointRecord full = mgr_full.checkpoint();
+    const CheckpointRecord delta = mgr_delta.checkpoint();
+    delta_versions.push_back(delta.version);
+    ++taken;
+    if (taken == 1) {
+      out.first_full_bytes = static_cast<double>(full.stored_bytes);
+      out.first_delta_bytes = static_cast<double>(delta.stored_bytes);
+    } else {
+      out.mean_full_bytes += static_cast<double>(full.stored_bytes);
+      out.mean_delta_bytes += static_cast<double>(delta.stored_bytes);
+      if (delta.stored_bytes > full.stored_bytes)
+        out.delta_le_full_after_2 = false;
+    }
+    out.chunks_deduped += delta.chunks_deduped;
+  }
+  if (taken > 1) {
+    out.mean_full_bytes /= taken - 1;
+    out.mean_delta_bytes /= taken - 1;
+  }
+
+  // (c) Feed the surviving delta streams to the L3 dedup store twice: the
+  // second pass stands in for the next run re-checkpointing identical state
+  // (the cross-run story of the on-disk chunk index). Every literal chunk
+  // of the "second run" is already resident, so physical residency grows by
+  // skeletons only.
+  DedupChunkStore dedup;
+  for (const int v : delta_versions)
+    if (store_delta_raw->exists(v)) dedup.write(v, store_delta_raw->read(v));
+  for (const int v : delta_versions)
+    if (store_delta_raw->exists(v))
+      dedup.write(100000 + v, store_delta_raw->read(v));
+  out.dedup_physical = static_cast<double>(dedup.physical_bytes());
+  out.dedup_logical = static_cast<double>(dedup.logical_bytes());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lck;
+  using namespace lck::bench;
+
+  JsonSink json = JsonSink::from_args(argc, argv);
+  banner("Delta checkpointing — stored bytes and blocking time, "
+         "full vs chunked delta streams",
+         "Beyond Tao et al., HPDC'18 (block-level delta + L3 dedup)");
+
+  const int kCheckpoints = 12;
+  const int kMaxChain = 16;
+  std::printf("Traditional (verbatim) scheme; state = static matrix payload "
+              "+ dynamic vectors;\n%d checkpoints per run, max_delta_chain "
+              "= %d, chunk = 256 doubles\n\n",
+              kCheckpoints, kMaxChain);
+
+  bool all_le = true;
+  double cg_reduction_2048 = 0.0;
+  std::vector<std::vector<double>> stored_rows;
+  std::vector<std::vector<double>> blocking_rows;
+  std::printf("(a) Stored bytes per checkpoint (mean of ckpts 2..%d, "
+              "scaled to the 2,048-rank Table-3 state)\n", kCheckpoints);
+  std::printf("%-8s %-13s %-13s %-10s %-13s %-13s\n", "method", "full MB",
+              "delta MB", "reduction", "ckpt1 delta", "dedup phys/log");
+  std::vector<MethodDelta> results;
+  for (const std::string method : {"cg", "gmres", "jacobi"}) {
+    const MethodDelta r = measure_method(method, kCheckpoints, kMaxChain);
+    results.push_back(r);
+    all_le = all_le && r.delta_le_full_after_2;
+    const double scale = table3_vector_bytes(2048) / r.local_vector_bytes;
+    const double reduction =
+        r.mean_delta_bytes > 0 ? r.mean_full_bytes / r.mean_delta_bytes : 0.0;
+    if (method == "cg") cg_reduction_2048 = reduction;
+    std::printf("%-8s %-13.1f %-13.1f %-10.2f %-13.1f %.2f\n",
+                method.c_str(), r.mean_full_bytes * scale / 1e6,
+                r.mean_delta_bytes * scale / 1e6, reduction,
+                r.first_delta_bytes * scale / 1e6,
+                r.dedup_physical / r.dedup_logical);
+    stored_rows.push_back({r.mean_full_bytes * scale,
+                           r.mean_delta_bytes * scale, reduction,
+                           r.delta_le_full_after_2 ? 1.0 : 0.0,
+                           static_cast<double>(r.chunks_deduped),
+                           r.dedup_physical / r.dedup_logical});
+    json.scalar("delta_reduction_" + method + "_2048", reduction);
+    json.scalar("delta_le_full_" + method,
+                r.delta_le_full_after_2 ? 1.0 : 0.0);
+  }
+  json.table("stored_bytes_2048",
+             {"method", "full_bytes", "delta_bytes", "reduction",
+              "delta_le_full", "chunks_deduped", "dedup_physical_fraction"},
+             {{0.0, stored_rows[0][0], stored_rows[0][1], stored_rows[0][2],
+               stored_rows[0][3], stored_rows[0][4], stored_rows[0][5]},
+              {1.0, stored_rows[1][0], stored_rows[1][1], stored_rows[1][2],
+               stored_rows[1][3], stored_rows[1][4], stored_rows[1][5]},
+              {2.0, stored_rows[2][0], stored_rows[2][1], stored_rows[2][2],
+               stored_rows[2][3], stored_rows[2][4], stored_rows[2][5]}});
+
+  // ----- (b) blocking (sync write) time per checkpoint vs ranks -------------
+  std::printf("\n(b) Blocking time per checkpoint (s), traditional sync "
+              "write of the stored bytes\n");
+  std::printf("%-8s %-11s %-11s %-11s %-11s %-11s %-11s\n", "procs",
+              "cg full", "cg delta", "gmres full", "gmres delta",
+              "jacobi full", "jacobi delta");
+  for (const int procs : kTable3Procs) {
+    const ClusterModel cl = ClusterModel{}.with_ranks(procs);
+    std::vector<double> row{static_cast<double>(procs)};
+    std::printf("%-8d", procs);
+    for (const MethodDelta& r : results) {
+      const double scale = table3_vector_bytes(procs) / r.local_vector_bytes;
+      const double t_full = cl.write_seconds(r.mean_full_bytes * scale);
+      const double t_delta = cl.write_seconds(r.mean_delta_bytes * scale);
+      std::printf(" %-11.2f %-11.2f", t_full, t_delta);
+      row.push_back(t_full);
+      row.push_back(t_delta);
+    }
+    std::printf("\n");
+    blocking_rows.push_back(row);
+  }
+  json.table("blocking_seconds",
+             {"procs", "cg_full", "cg_delta", "gmres_full", "gmres_delta",
+              "jacobi_full", "jacobi_delta"},
+             blocking_rows);
+
+  const bool cg_claim = cg_reduction_2048 >= 2.0;
+  std::printf("\nClaims: delta <= full after checkpoint 1 for every method "
+              "%s; CG mean stored-bytes reduction at 2,048 ranks = %.2fx "
+              "(>= 2x %s)\n",
+              all_le ? "(holds)" : "(VIOLATED)", cg_reduction_2048,
+              cg_claim ? "holds" : "VIOLATED");
+  std::printf(
+      "\nThe static payload collapses to references in every delta, the L3 "
+      "dedup store additionally stores the periodic full checkpoints' "
+      "repeated chunks once, and the runner prices stage/drain from the "
+      "delta bytes — so the adaptive policy re-paces as deltas shrink.\n");
+  json.scalar("delta_all_le_full", all_le ? 1.0 : 0.0);
+  json.scalar("cg_reduction_ge_2", cg_claim ? 1.0 : 0.0);
+  json.write();
+  return all_le && cg_claim ? 0 : 1;
+}

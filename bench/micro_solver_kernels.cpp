@@ -1,11 +1,17 @@
 /// google-benchmark microbenchmarks for the solver substrate: SpMV,
-/// preconditioner application, and single iterations of each method.
+/// preconditioner application, single iterations of each method, and the
+/// thread scaling of the deterministic fixed-partition vector reductions.
 
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.hpp"
 #include "solvers/factory.hpp"
 #include "sparse/gen/poisson3d.hpp"
+#include "sparse/vector_ops.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 namespace {
 
@@ -50,6 +56,60 @@ void bm_solver_step(benchmark::State& state, const char* method) {
                           p.a.nnz());
 }
 
+/// Thread scaling of the deterministic reductions: range(0) elements
+/// reduced on range(1) OpenMP threads. The fixed partition means the
+/// *result* is bit-identical across the rows — only the time changes —
+/// so the ratio of items/s between the 1-thread and N-thread rows is the
+/// reduction's parallel speedup. (On a 1-core container the real-time rows
+/// coincide; re-measure on a multicore host.)
+template <typename Kernel>
+void bm_reduction(benchmark::State& state, Kernel&& kernel) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+#if defined(_OPENMP)
+  const int prev_threads = omp_get_max_threads();
+  omp_set_num_threads(threads);
+#else
+  if (threads > 1) {
+    state.SkipWithError("built without OpenMP");
+    return;
+  }
+#endif
+  lck::Vector x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.001 * static_cast<double>(i)) + 2.0;
+    y[i] = std::cos(0.002 * static_cast<double>(i)) - 1.5;
+  }
+  for (auto _ : state) {
+    double v = kernel(x, y);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["threads"] = threads;
+#if defined(_OPENMP)
+  omp_set_num_threads(prev_threads);
+#endif
+}
+
+void bm_dot(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector& y) {
+    return lck::dot(x, y);
+  });
+}
+
+void bm_norm2(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector&) {
+    return lck::norm2(x);
+  });
+}
+
+void bm_norm_inf(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector&) {
+    return lck::norm_inf(x);
+  });
+}
+
 }  // namespace
 
 BENCHMARK(bm_spmv)->Arg(16)->Arg(32)->Arg(48);
@@ -61,5 +121,14 @@ BENCHMARK_CAPTURE(bm_solver_step, jacobi, "jacobi");
 BENCHMARK_CAPTURE(bm_solver_step, cg, "cg");
 BENCHMARK_CAPTURE(bm_solver_step, gmres, "gmres");
 BENCHMARK_CAPTURE(bm_solver_step, bicgstab, "bicgstab");
+BENCHMARK(bm_dot)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_norm2)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_norm_inf)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -4,8 +4,10 @@
 /// system stands in (DESIGN.md substitution for Fig. 3).
 ///
 ///   build/examples/custom_matrix [matrix.mtx] [--policy fixed|young|adaptive]
+///                                [--delta <chain-len>]
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/resilient_runner.hpp"
@@ -19,14 +21,24 @@ int main(int argc, char** argv) {
 
   std::string mtx_path;
   std::string policy = "fixed";
+  int delta_chain = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--policy" && i + 1 < argc) {
       policy = argv[++i];
+    } else if (arg == "--delta" && i + 1 < argc) {
+      char* end = nullptr;
+      delta_chain = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || delta_chain < 0) {
+        std::fprintf(stderr, "--delta expects a non-negative integer, got "
+                             "\"%s\"\n", argv[i]);
+        return 2;
+      }
     } else if (arg[0] == '-') {
       std::fprintf(stderr,
                    "unknown or incomplete option \"%s\"\nusage: %s "
-                   "[matrix.mtx] [--policy fixed|young|adaptive]\n",
+                   "[matrix.mtx] [--policy fixed|young|adaptive] "
+                   "[--delta <chain-len>]\n",
                    arg.c_str(), argv[0]);
       return 2;
     } else {
@@ -71,6 +83,7 @@ int main(int argc, char** argv) {
       young_interval_seconds(cfg.cluster.write_seconds(
                                  static_cast<double>(a.rows()) * 8.0),
                              cfg.failure.mtti_seconds);
+  cfg.delta.max_delta_chain = delta_chain;
   cfg.dynamic_scale = 1.0;
   cfg.static_bytes = static_cast<double>(a.nnz()) * 12.0;
 
@@ -88,6 +101,11 @@ int main(int argc, char** argv) {
               "%d mid-run adjustments\n",
               policy.c_str(), res.policy_interval_final,
               res.interval_adjustments);
+  if (delta_chain > 0)
+    std::printf("Delta: %d full / %d total checkpoints, %zu chunks stored "
+                "as references, %.1f MB of delta streams\n",
+                res.full_checkpoints, res.checkpoints, res.chunks_deduped,
+                res.delta_bytes_total / 1e6);
   std::printf("Final residual: %.3e (rtol %.0e)\n", res.final_residual_norm,
               opts.rtol);
   return 0;

@@ -3,13 +3,16 @@
 /// the three checkpointing schemes end to end.
 ///
 ///   build/examples/resilient_solve [method] [--policy fixed|young|adaptive]
-///   (method: jacobi | cg | gmres | bicgstab)
+///                                  [--delta <chain-len>]
+///   (method: jacobi | cg | gmres | bicgstab; --delta enables chunked delta
+///    checkpointing with at most <chain-len> deltas per full checkpoint)
 ///
 /// Prints, per scheme: total virtual wall-clock, failures survived,
 /// checkpoints taken, mean checkpoint size/time, and the fault-tolerance
 /// overhead relative to the failure-free baseline.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/experiment.hpp"
@@ -20,14 +23,23 @@ int main(int argc, char** argv) {
   using namespace lck;
   std::string method = "cg";
   std::string policy = "fixed";
+  int delta_chain = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--policy" && i + 1 < argc) {
       policy = argv[++i];
+    } else if (arg == "--delta" && i + 1 < argc) {
+      char* end = nullptr;
+      delta_chain = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || delta_chain < 0) {
+        std::fprintf(stderr, "--delta expects a non-negative integer, got "
+                             "\"%s\"\n", argv[i]);
+        return 2;
+      }
     } else if (arg[0] == '-') {
       std::fprintf(stderr,
                    "unknown or incomplete option \"%s\"\nusage: %s [method] "
-                   "[--policy fixed|young|adaptive]\n",
+                   "[--policy fixed|young|adaptive] [--delta <chain-len>]\n",
                    arg.c_str(), argv[0]);
       return 2;
     } else {
@@ -48,8 +60,9 @@ int main(int argc, char** argv) {
   std::printf("%s on %lld unknowns: failure-free N = %.0f iterations\n",
               method.c_str(), static_cast<long long>(p.a.rows()), n_base);
   std::printf("Virtual setting: 2,048 ranks, MTTI = 1 h, baseline %.0f s, "
-              "pacing policy \"%s\"\n\n",
-              baseline_seconds, policy.c_str());
+              "pacing policy \"%s\", delta chain %d%s\n\n",
+              baseline_seconds, policy.c_str(), delta_chain,
+              delta_chain > 0 ? "" : " (full checkpoints)");
 
   std::printf("%-13s %-6s %-10s %-7s %-7s %-11s %-11s %-9s %-11s\n",
               "scheme", "mode", "total(s)", "fails", "ckpts", "ckpt MB",
@@ -77,6 +90,9 @@ int main(int argc, char** argv) {
       cfg.policy.name = policy;
       cfg.policy.interval_seconds =
           young_interval_seconds(cfg.cluster.write_seconds(78.8e9), 3600.0);
+      // Chunked delta checkpointing: unchanged chunks between consecutive
+      // checkpoints become references (lck.hpp re-exports DeltaConfig).
+      cfg.delta.max_delta_chain = delta_chain;
 
       ResilientRunner runner(*solver, cfg);
       const auto res = runner.run();

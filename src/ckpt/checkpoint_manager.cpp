@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
+#include <unordered_map>
 
 #include "ckpt/async_writer.hpp"
+#include "ckpt/chunk/chunk_hash.hpp"
 #include "common/byte_buffer.hpp"
 #include "common/crc32.hpp"
 #include "common/timer.hpp"
@@ -15,6 +18,26 @@ constexpr std::uint32_t kMagic = 0x54504b43u;  // "CKPT"
 constexpr std::uint16_t kVersion = 1;
 
 enum class VarKind : std::uint8_t { kVector = 0, kBlob = 1 };
+
+/// References are resolved purely by content hash, so for lossless codecs
+/// (where decompress ∘ compress is the identity) the re-materialized slice
+/// must hash back to the manifest's raw-content hash — re-checking turns a
+/// CRC-64 collision (or any resolver bug) into a loud error instead of
+/// silently corrupted solver state. Lossy codecs are exempt: a reference
+/// deliberately reproduces the base's *approximation* of the identical raw
+/// content, whose bytes differ from the raw original.
+void verify_ref_hash(const Compressor& comp, std::span<const double> slice,
+                     std::uint64_t expected, const std::string& var_name) {
+  if (comp.lossy()) return;
+  const std::span<const byte_t> raw{
+      reinterpret_cast<const byte_t*>(slice.data()),
+      slice.size() * sizeof(double)};
+  if (crc64(raw) != expected)
+    throw corrupt_stream_error(
+        "recover: delta reference resolved to mismatched content for "
+        "variable " +
+        var_name);
+}
 
 }  // namespace
 
@@ -151,19 +174,133 @@ CheckpointRecord CheckpointManager::build_stream(
   return rec;
 }
 
+CheckpointRecord CheckpointManager::build_delta_stream(
+    const std::vector<VarView>& vars, int version,
+    const ChunkBaseState* base, std::vector<byte_t>& bytes,
+    std::shared_ptr<const ChunkBaseState>& out_state) const {
+  CheckpointRecord rec;
+  rec.version = version;
+  rec.base_version = base != nullptr ? base->version : -1;
+  rec.chain_len = base != nullptr ? base->chain_len + 1 : 0;
+
+  auto state = std::make_shared<ChunkBaseState>();
+  state->version = version;
+  state->chunk_elems = delta_chunk_elems_;
+  state->chain_len = rec.chain_len;
+
+  ByteWriter out;
+  out.put(kDeltaMagic);
+  out.put(kDeltaFormatVersion);
+  out.put(static_cast<std::int32_t>(rec.base_version));
+  out.put(rec.chain_len);
+  out.put(static_cast<std::uint32_t>(vars.size()));
+
+  WallTimer timer;
+  for (const auto& var : vars) {
+    out.put(static_cast<std::int32_t>(var.id));
+    out.put_string(*var.name);
+    if (var.vec != nullptr) {
+      out.put(static_cast<std::uint8_t>(DeltaVarKind::kVector));
+      // Chunks are the unit of parallel compression here, so the block
+      // pipeline is not layered on top (a registered BlockCompressor is
+      // still honoured as the per-chunk codec).
+      const std::string comp_name = var.compressor->name();
+      const std::vector<std::uint64_t>* base_hashes =
+          base != nullptr ? base->hashes_for(var.id, comp_name) : nullptr;
+      std::vector<std::uint64_t> hashes;
+      const ChunkEncodeStats stats =
+          encode_chunked_vector(out, *var.vec, *var.compressor,
+                                delta_chunk_elems_, base_hashes, hashes);
+      state->vars.push_back({var.id, comp_name, std::move(hashes)});
+      rec.raw_bytes += var.vec->size() * sizeof(double);
+      rec.chunks += stats.chunks;
+      rec.chunks_deduped += stats.refs;
+      rec.per_var_bytes[*var.name] = stats.literal_bytes;
+    } else {
+      out.put(static_cast<std::uint8_t>(DeltaVarKind::kBlob));
+      out.put(static_cast<std::uint64_t>(var.blob->size()));
+      out.put(crc32(*var.blob));
+      out.put_bytes(*var.blob);
+      rec.raw_bytes += var.blob->size();
+      rec.per_var_bytes[*var.name] = var.blob->size();
+    }
+  }
+  rec.compress_seconds = timer.seconds();
+
+  rec.stored_bytes = out.size();
+  bytes = std::move(out).take();
+  out_state = std::move(state);
+  return rec;
+}
+
+void CheckpointManager::mark_chain(int v, std::set<int>& live) const {
+  // 1024 hops is far beyond any legal chain (bounded by max_delta_chain_);
+  // the cap only guards a corrupt map from wedging pruning.
+  int hops = 0;
+  while (v >= 0 && hops++ <= 1024 && live.insert(v).second) {
+    const auto it = base_of_.find(v);
+    v = it != base_of_.end() ? it->second : -1;
+  }
+}
+
 void CheckpointManager::prune_retention(int latest_committed) {
   // Aborted async versions leave holes in the version sequence, so scan up
   // from the lowest possibly-live version instead of stopping at the first
   // gap (remove() of an absent version is a cheap no-op in both stores).
   const int keep_from = latest_committed - retention_ + 1;
-  for (int v = prune_floor_; v < keep_from; ++v) store_->remove(v);
-  // Never advance the floor past a version that is still undecided: if it
-  // commits out of order later, the prune at its commit must still be able
-  // to remove it.
+  // Nothing below the window to remove (e.g. tiered mode parks the
+  // manager-level retention and lets the hierarchy prune). The manager only
+  // consults base links for its own pruning decisions, so here they can be
+  // bounded to the chains still reachable from the tip and from in-flight
+  // staged bases — without this, a long parked-retention run would leak one
+  // entry per checkpoint.
+  if (keep_from <= prune_floor_) {
+    if (!base_of_.empty()) {
+      std::set<int> live;
+      mark_chain(latest_committed, live);
+      for (const auto& [staged, base] : staged_base_) mark_chain(base, live);
+      std::erase_if(base_of_,
+                    [&live](const auto& e) { return !live.contains(e.first); });
+    }
+    return;
+  }
+
+  // Ref-counted bases: a version below the retention window survives as
+  // long as a retained (or in-flight staged) version's delta chain still
+  // references it — dropping it would break that chain's recovery.
+  std::set<int> live;
+  if (!base_of_.empty() || !staged_base_.empty()) {
+    for (int v = std::max(0, keep_from); v <= latest_committed; ++v)
+      mark_chain(v, live);
+    for (const auto& [staged, base] : staged_base_) mark_chain(base, live);
+  }
+
+  for (int v = prune_floor_; v < keep_from; ++v) {
+    if (live.contains(v)) continue;
+    store_->remove(v);
+    base_of_.erase(v);
+  }
+  // Never advance the floor past a version that is still undecided (it may
+  // commit out of order later) or past a live chain base (it must be
+  // re-examined once the chain referencing it retires).
   int advance_to = keep_from;
+  if (!live.empty()) advance_to = std::min(advance_to, *live.begin());
   if (!staged_versions_.empty())
     advance_to = std::min(advance_to, *staged_versions_.begin());
   prune_floor_ = std::max(prune_floor_, advance_to);
+}
+
+std::shared_ptr<const ChunkBaseState> CheckpointManager::pick_delta_base()
+    const {
+  if (max_delta_chain_ <= 0 || committed_state_ == nullptr) return nullptr;
+  // A base whose chunk geometry no longer matches cannot be referenced;
+  // a chain at max length forces the periodic full checkpoint; a base
+  // discarded from the store (torn write) must not be referenced either.
+  if (committed_state_->chunk_elems != delta_chunk_elems_) return nullptr;
+  if (static_cast<int>(committed_state_->chain_len) + 1 > max_delta_chain_)
+    return nullptr;
+  if (!store_->exists(committed_state_->version)) return nullptr;
+  return committed_state_;
 }
 
 CheckpointRecord CheckpointManager::checkpoint() {
@@ -180,8 +317,18 @@ CheckpointRecord CheckpointManager::checkpoint() {
     views.push_back(v);
   }
   std::vector<byte_t> bytes;
-  const CheckpointRecord rec = build_stream(views, next_version_, bytes);
-  store_->write(rec.version, bytes);
+  CheckpointRecord rec;
+  if (max_delta_chain_ > 0) {
+    const auto base = pick_delta_base();
+    std::shared_ptr<const ChunkBaseState> state;
+    rec = build_delta_stream(views, next_version_, base.get(), bytes, state);
+    store_->write(rec.version, bytes);
+    base_of_[rec.version] = rec.base_version;
+    committed_state_ = std::move(state);
+  } else {
+    rec = build_stream(views, next_version_, bytes);
+    store_->write(rec.version, bytes);
+  }
   prune_retention(rec.version);
   ++next_version_;
   return rec;
@@ -251,7 +398,13 @@ StageTicket CheckpointManager::stage() {
   ticket.stage_seconds = timer.seconds();
 
   const int version = ticket.version;
-  auto drain = [this, version, slot_idx] {
+  // The delta base is decided here, on the owner thread, so the background
+  // drain never touches the (owner-mutated) bookkeeping: it encodes against
+  // an immutable snapshot of the base's hashes.
+  const bool delta = max_delta_chain_ > 0;
+  std::shared_ptr<const ChunkBaseState> base;
+  if (delta) base = pick_delta_base();
+  auto drain = [this, version, slot_idx, delta, base] {
     std::vector<byte_t> bytes;
     CheckpointRecord rec;
     try {
@@ -270,7 +423,14 @@ StageTicket CheckpointManager::stage() {
         v.compressor = sv.compressor;
         views.push_back(v);
       }
-      rec = build_stream(views, version, bytes);
+      if (delta) {
+        std::shared_ptr<const ChunkBaseState> state;
+        rec = build_delta_stream(views, version, base.get(), bytes, state);
+        const std::lock_guard<std::mutex> lock(slot_mu_);
+        drained_states_[version] = std::move(state);
+      } else {
+        rec = build_stream(views, version, bytes);
+      }
     } catch (...) {
       // A throwing compressor must not strand the slot as busy forever.
       release_slot(slot_idx);
@@ -286,9 +446,11 @@ StageTicket CheckpointManager::stage() {
   // completely: nothing else releases the slot once it is marked busy.
   try {
     staged_versions_.insert(version);
+    if (delta) staged_base_[version] = base != nullptr ? base->version : -1;
     writer_->submit(version, std::move(drain));
   } catch (...) {
     staged_versions_.erase(version);
+    staged_base_.erase(version);
     release_slot(slot_idx);
     throw;
   }
@@ -320,10 +482,22 @@ CheckpointRecord CheckpointManager::wait_drain(int version) {
 }
 
 void CheckpointManager::commit_version(int version) {
-  wait_drain(version);
+  const CheckpointRecord rec = wait_drain(version);
   store_->commit(version);
   drained_.erase(version);
   staged_versions_.erase(version);
+  if (max_delta_chain_ > 0) {
+    base_of_[version] = rec.base_version;
+    staged_base_.erase(version);
+    // The drain joined above, so its drained_states_ insert happened-before
+    // this read; the lock only orders against *other* in-flight drains.
+    const std::lock_guard<std::mutex> lock(slot_mu_);
+    if (const auto it = drained_states_.find(version);
+        it != drained_states_.end()) {
+      committed_state_ = std::move(it->second);
+      drained_states_.erase(it);
+    }
+  }
   // Prune against the highest committed version, so an out-of-order commit
   // of an already-superseded version retires it immediately.
   prune_retention(store_->latest_version());
@@ -342,6 +516,18 @@ void CheckpointManager::abort_version(int version) {
   drained_.erase(version);
   failed_drains_.erase(version);
   staged_versions_.erase(version);
+  staged_base_.erase(version);
+  {
+    const std::lock_guard<std::mutex> lock(slot_mu_);
+    drained_states_.erase(version);
+  }
+}
+
+void CheckpointManager::discard_version(int version) {
+  store_->remove(version);
+  base_of_.erase(version);
+  if (committed_state_ != nullptr && committed_state_->version == version)
+    committed_state_.reset();
 }
 
 // ----------------------------------------------------------------------------
@@ -350,6 +536,10 @@ CheckpointRecord CheckpointManager::recover() {
   const int version = store_->latest_version();
   if (version < 0) throw corrupt_stream_error("recover: no checkpoint exists");
   const auto data = store_->read(version);
+
+  // Streams are self-describing: chunked delta checkpoints carry their own
+  // magic, so recovery works whatever the writing configuration was.
+  if (is_delta_stream(data)) return recover_delta(version, data);
 
   CheckpointRecord rec;
   rec.version = version;
@@ -405,6 +595,137 @@ CheckpointRecord CheckpointManager::recover() {
     }
     rec.per_var_bytes[name] = payload_size;
   }
+  rec.compress_seconds = timer.seconds();
+  recovery_pending_ = false;
+  return rec;
+}
+
+CheckpointRecord CheckpointManager::recover_delta(
+    int version, const std::vector<byte_t>& data) {
+  CheckpointRecord rec;
+  rec.version = version;
+  rec.stored_bytes = data.size();
+
+  const ParsedDeltaStream parsed = parse_delta_stream(data);
+  rec.base_version = parsed.base_version;
+  rec.chain_len = parsed.chain_len;
+
+  // One unresolved reference: where the chunk's doubles must land and the
+  // hash that names its content somewhere down the chain.
+  struct PendingRef {
+    int var_id = 0;
+    const std::string* var_name = nullptr;
+    const Compressor* comp = nullptr;
+    std::uint64_t hash = 0;
+    std::span<double> out;
+  };
+  std::vector<PendingRef> pending;
+
+  WallTimer timer;
+  for (const auto& var : parsed.vars) {
+    const auto it = entries_.find(var.id);
+    if (it == entries_.end())
+      throw corrupt_stream_error("recover: unregistered variable id " +
+                                 std::to_string(var.id));
+    Entry& e = it->second;
+    if (var.kind == DeltaVarKind::kBlob) {
+      require(e.blob != nullptr, "recover: kind mismatch (expected blob)");
+      e.blob->assign(var.blob.begin(), var.blob.end());
+      rec.raw_bytes += var.blob.size();
+      rec.per_var_bytes[var.name] = var.blob.size();
+      continue;
+    }
+    require(e.dst != nullptr, "recover: kind mismatch (expected vector)");
+    const Compressor* comp = compressor_for(e);
+    if (comp->name() != var.comp_name)
+      throw corrupt_stream_error(
+          "recover: compressor mismatch for variable " + var.name +
+          " (stored " + var.comp_name + ", registered " + comp->name() + ")");
+    e.dst->resize(var.elem_count);
+    rec.raw_bytes += var.elem_count * sizeof(double);
+    rec.chunks += var.chunks.size();
+
+    // Literal chunks decompress in place; a reference first tries the
+    // literals of this same stream (within-version dedup), then joins the
+    // chain walk below.
+    std::unordered_map<std::uint64_t, std::span<const byte_t>> own_literals;
+    std::size_t var_stored = 0;
+    const auto chunk_elems = static_cast<std::size_t>(var.chunk_elems);
+    for (std::size_t c = 0; c < var.chunks.size(); ++c) {
+      const std::size_t begin = c * chunk_elems;
+      const std::size_t len =
+          std::min(chunk_elems, static_cast<std::size_t>(var.elem_count) -
+                                    begin);
+      const std::span<double> slice{e.dst->data() + begin, len};
+      const ParsedChunk& chunk = var.chunks[c];
+      if (chunk.tag == ChunkTag::kLiteral) {
+        comp->decompress(chunk.payload, slice);
+        own_literals.emplace(chunk.hash, chunk.payload);
+        var_stored += chunk.payload.size();
+      } else if (const auto lit = own_literals.find(chunk.hash);
+                 lit != own_literals.end()) {
+        comp->decompress(lit->second, slice);
+        verify_ref_hash(*comp, slice, chunk.hash, it->second.name);
+        ++rec.chunks_deduped;
+      } else {
+        pending.push_back({var.id, &it->second.name, comp, chunk.hash, slice});
+        ++rec.chunks_deduped;
+      }
+    }
+    rec.per_var_bytes[var.name] = var_stored;
+  }
+
+  // Chain walk: resolve the remaining references against base versions,
+  // nearest first. Every literal a base holds for the right variable and
+  // hash is decompressed straight into the recovery target.
+  int base = parsed.base_version;
+  std::uint32_t steps = 0;
+  while (!pending.empty() && base >= 0) {
+    if (++steps > parsed.chain_len)
+      throw corrupt_stream_error(
+          "recover: delta chain longer than its declared length");
+    const auto base_data = store_->read(base);
+    const ParsedDeltaStream base_parsed = parse_delta_stream(base_data);
+    rec.stored_bytes += base_data.size();
+    std::unordered_map<std::uint64_t, const ParsedChunk*> literals;
+    for (const auto& var : base_parsed.vars) {
+      if (var.kind != DeltaVarKind::kVector) continue;
+      literals.clear();
+      for (const auto& chunk : var.chunks)
+        if (chunk.tag == ChunkTag::kLiteral)
+          literals.emplace(chunk.hash, &chunk);
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->var_id != var.id) {
+          ++it;
+          continue;
+        }
+        const auto lit = literals.find(it->hash);
+        if (lit == literals.end()) {
+          ++it;
+          continue;
+        }
+        // The base's payloads were produced by the compressor recorded in
+        // *its* stream; feeding them to a different registered decoder
+        // (compressor swapped mid-chain via unprotect/protect) would
+        // corrupt state silently.
+        if (it->comp->name() != var.comp_name)
+          throw corrupt_stream_error(
+              "recover: compressor mismatch in delta chain for variable " +
+              *it->var_name + " (base stored " + var.comp_name +
+              ", registered " + it->comp->name() + ")");
+        it->comp->decompress(lit->second->payload, it->out);
+        verify_ref_hash(*it->comp, it->out, it->hash, *it->var_name);
+        it = pending.erase(it);
+      }
+    }
+    base = base_parsed.base_version;
+  }
+  if (!pending.empty())
+    throw corrupt_stream_error(
+        "recover: delta chain is missing chunks for variable " +
+        *pending.front().var_name +
+        " (base checkpoint pruned or invalidated?)");
+
   rec.compress_seconds = timer.seconds();
   recovery_pending_ = false;
   return rec;

@@ -26,9 +26,11 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "ckpt/checkpoint_record.hpp"
 #include "ckpt/checkpoint_store.hpp"
+#include "ckpt/chunk/chunk_codec.hpp"
 #include "compress/block_compressor.hpp"
 #include "compress/compressor.hpp"
 #include "sparse/vector_ops.hpp"
@@ -137,7 +139,9 @@ class CheckpointManager {
 
   /// Discard a committed version (used when a failure interrupts the
   /// checkpoint write itself, so the torn file must not be recovered from).
-  void discard_version(int version) { store_->remove(version); }
+  /// A discarded version can no longer serve as a delta base: the next
+  /// checkpoint after a discard starts a fresh chain.
+  void discard_version(int version);
 
   /// Keep at most `n` most recent versions (older ones deleted on write).
   void set_retention(int n) {
@@ -157,6 +161,36 @@ class CheckpointManager {
   }
   [[nodiscard]] std::size_t block_pipeline_elems() const noexcept {
     return block_elems_;
+  }
+
+  /// Default chunk size of the delta (chunked) serializer, in doubles.
+  static constexpr std::size_t kDefaultChunkElems = 4096;
+
+  /// Configure chunked delta checkpointing. `max_delta_chain` = 0 (the
+  /// default) keeps the legacy serializer, byte-identical to the
+  /// pre-chunk format. With a positive value every checkpoint uses the
+  /// content-addressed chunk format: chunks whose raw content is unchanged
+  /// since the previous committed checkpoint are stored as references, and
+  /// at most `max_delta_chain` consecutive deltas ride on one full
+  /// checkpoint before the next full is forced (bounding both recovery
+  /// read amplification and how long retention must keep chain bases).
+  /// Retention pruning never drops a version that a live chain references.
+  /// In delta mode chunks replace the block pipeline as the unit of
+  /// parallel compression. Must not change while a drain is in flight.
+  void set_delta(int max_delta_chain,
+                 std::size_t chunk_elems = kDefaultChunkElems) {
+    require(max_delta_chain >= 0,
+            "checkpoint manager: max_delta_chain must be >= 0");
+    require(chunk_elems >= 1,
+            "checkpoint manager: delta chunk_elems must be >= 1");
+    max_delta_chain_ = max_delta_chain;
+    delta_chunk_elems_ = chunk_elems;
+  }
+  [[nodiscard]] int max_delta_chain() const noexcept {
+    return max_delta_chain_;
+  }
+  [[nodiscard]] std::size_t delta_chunk_elems() const noexcept {
+    return delta_chunk_elems_;
   }
 
   [[nodiscard]] const CheckpointStore& store() const { return *store_; }
@@ -207,7 +241,31 @@ class CheckpointManager {
   CheckpointRecord build_stream(const std::vector<VarView>& vars, int version,
                                 std::vector<byte_t>& bytes) const;
 
+  /// Serialize one snapshot as a chunked delta stream against `base`
+  /// (nullptr ⇒ full chunked checkpoint). Fills `out_state` with the
+  /// hashes a successor delta needs. Same sync/async sharing contract as
+  /// build_stream.
+  CheckpointRecord build_delta_stream(
+      const std::vector<VarView>& vars, int version,
+      const ChunkBaseState* base, std::vector<byte_t>& bytes,
+      std::shared_ptr<const ChunkBaseState>& out_state) const;
+
+  /// The base the next checkpoint deltas against, or nullptr when a full
+  /// checkpoint is due (no committed predecessor, chain at max length,
+  /// chunk size changed, or the candidate was discarded).
+  [[nodiscard]] std::shared_ptr<const ChunkBaseState> pick_delta_base() const;
+
+  /// Chain-walking recovery of a delta-format checkpoint: literal chunks
+  /// decompress in place, references resolve against base versions read
+  /// from the store, down to the chain's full checkpoint.
+  CheckpointRecord recover_delta(int version,
+                                 const std::vector<byte_t>& data);
+
   void prune_retention(int latest_committed);
+  /// Insert `v` and its base_of_ chain into `live`. Hop-bounded as pure
+  /// defense (base links always point strictly downward, so a well-formed
+  /// map cannot cycle).
+  void mark_chain(int v, std::set<int>& live) const;
   int acquire_slot();              ///< Blocks until a staging slot is free.
   void release_slot(int slot);
 
@@ -220,6 +278,24 @@ class CheckpointManager {
   int prune_floor_ = 0;  ///< Versions below this are already pruned.
   std::size_t block_elems_ = BlockCompressor::kDefaultBlockElems;
   bool recovery_pending_ = false;
+
+  // Delta (chunked) checkpointing state. All owner-thread, except
+  // drained_states_, which the background drain fills (guarded by
+  // slot_mu_; the owner reads it only after wait_drain joined the drain).
+  int max_delta_chain_ = 0;
+  std::size_t delta_chunk_elems_ = kDefaultChunkElems;
+  /// Chunk hashes of the most recent *committed* version — the only
+  /// version a new checkpoint may delta against.
+  std::shared_ptr<const ChunkBaseState> committed_state_;
+  /// Chunk hashes produced by in-flight drains, keyed by version, awaiting
+  /// commit (guarded by slot_mu_).
+  std::map<int, std::shared_ptr<const ChunkBaseState>> drained_states_;
+  /// Committed version → base version (-1 = full); drives the ref-counted
+  /// retention that keeps live chain bases alive.
+  std::map<int, int> base_of_;
+  /// Staged (uncommitted) version → the base captured at stage time, so
+  /// pruning cannot retire a base an in-flight delta still needs.
+  std::map<int, int> staged_base_;
 
   // Async pipeline state. The writer thread is created on first stage(), so
   // purely synchronous users never spawn a thread.

@@ -3,6 +3,7 @@
 /// \brief Accounting record shared by the sync and async checkpoint paths.
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -13,9 +14,22 @@ namespace lck {
 struct CheckpointRecord {
   int version = -1;
   std::size_t raw_bytes = 0;         ///< Sum of uncompressed payloads.
-  std::size_t stored_bytes = 0;      ///< Bytes actually written/read.
+  std::size_t stored_bytes = 0;      ///< Bytes actually written/read. For a
+                                     ///< delta-chain recovery: total bytes
+                                     ///< read across the whole chain.
   double compress_seconds = 0.0;     ///< Real local (de)compression time.
   std::map<std::string, std::size_t> per_var_bytes;  ///< Stored size by name.
+
+  // ----- delta (chunked) checkpoints only -----------------------------------
+  /// Base version this checkpoint's references resolve against, or -1 for a
+  /// full checkpoint (also -1 for every legacy non-chunked checkpoint).
+  int base_version = -1;
+  /// Deltas between this version and the chain's full checkpoint (0 = full).
+  std::uint32_t chain_len = 0;
+  /// Chunk manifest entries across all vector variables (0 = legacy format).
+  std::size_t chunks = 0;
+  /// Chunks stored as references instead of payload bytes.
+  std::size_t chunks_deduped = 0;
 };
 
 }  // namespace lck

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/file_io.hpp"
+
 namespace lck {
 
 namespace fs = std::filesystem;
@@ -72,7 +74,8 @@ DiskStore::DiskStore(std::string directory) : dir_(std::move(directory)) {
   // is owned by one store at a time.
   for (const auto& entry : fs::directory_iterator(dir_)) {
     const std::string name = entry.path().filename().string();
-    if (name.starts_with("ckpt_") && name.ends_with(".lck.pending")) {
+    if (name.starts_with("ckpt_") &&
+        (name.ends_with(".lck.pending") || name.ends_with(".tmp"))) {
       std::error_code ec;
       fs::remove(entry.path(), ec);
     }
@@ -88,30 +91,14 @@ std::string DiskStore::pending_path_for(int version) const {
 }
 
 void DiskStore::write(int version, std::span<const byte_t> data) {
-  const std::string final_path = path_for(version);
-  const std::string tmp_path = final_path + ".tmp";
-  {
-    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!f) throw corrupt_stream_error("disk store: cannot open " + tmp_path);
-    f.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-    if (!f) throw corrupt_stream_error("disk store: short write " + tmp_path);
-  }
-  fs::rename(tmp_path, final_path);  // atomic commit
+  atomic_write_file(path_for(version), data);  // tmp + rename: atomic commit
 }
 
 std::vector<byte_t> DiskStore::read(int version) const {
-  std::ifstream f(path_for(version), std::ios::binary | std::ios::ate);
-  if (!f)
+  if (!fs::exists(path_for(version)))
     throw corrupt_stream_error("disk store: no checkpoint version " +
                                std::to_string(version));
-  const auto size = static_cast<std::size_t>(f.tellg());
-  f.seekg(0);
-  std::vector<byte_t> data(size);
-  f.read(reinterpret_cast<char*>(data.data()),
-         static_cast<std::streamsize>(size));
-  if (!f) throw corrupt_stream_error("disk store: short read");
-  return data;
+  return read_file_bytes(path_for(version));
 }
 
 bool DiskStore::exists(int version) const {

@@ -1,0 +1,166 @@
+#include "ckpt/chunk/chunk_codec.hpp"
+
+#include <unordered_set>
+
+#include "ckpt/chunk/chunk_hash.hpp"
+#include "common/crc32.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace lck {
+
+bool is_delta_stream(std::span<const byte_t> stream) noexcept {
+  if (stream.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, stream.data(), sizeof magic);
+  return magic == kDeltaMagic;
+}
+
+std::optional<int> peek_delta_base(std::span<const byte_t> stream) noexcept {
+  if (!is_delta_stream(stream)) return std::nullopt;
+  constexpr std::size_t off = sizeof(std::uint32_t) + sizeof(std::uint16_t);
+  if (stream.size() < off + sizeof(std::int32_t)) return std::nullopt;
+  std::int32_t base;
+  std::memcpy(&base, stream.data() + off, sizeof base);
+  return static_cast<int>(base);
+}
+
+ChunkEncodeStats encode_chunked_vector(
+    ByteWriter& out, std::span<const double> vec, const Compressor& comp,
+    std::size_t chunk_elems, const std::vector<std::uint64_t>* base_hashes,
+    std::vector<std::uint64_t>& out_hashes) {
+  require(chunk_elems >= 1, "chunk codec: chunk_elems must be >= 1");
+  const std::size_t n = vec.size();
+  const std::size_t chunks =
+      n == 0 ? 0 : (n + chunk_elems - 1) / chunk_elems;
+
+  // Hash every chunk's raw bytes concurrently; the hash list is a pure
+  // function of the data, so sync and async drains agree bit-for-bit.
+  std::vector<std::uint64_t> hashes(chunks);
+  parallel_for(0, static_cast<index_t>(chunks), [&](index_t c) {
+    const std::size_t begin = static_cast<std::size_t>(c) * chunk_elems;
+    const std::size_t len = std::min(chunk_elems, n - begin);
+    hashes[static_cast<std::size_t>(c)] = crc64(
+        {reinterpret_cast<const byte_t*>(vec.data() + begin),
+         len * sizeof(double)});
+  });
+
+  // Literal/ref decision in manifest order: a chunk references the base
+  // version's content or a literal emitted earlier in this same stream
+  // (within-version dedup, e.g. constant regions).
+  std::unordered_set<std::uint64_t> available;
+  if (base_hashes != nullptr)
+    available.insert(base_hashes->begin(), base_hashes->end());
+  std::vector<std::uint8_t> is_ref(chunks, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (available.contains(hashes[c]))
+      is_ref[c] = 1;
+    else
+      available.insert(hashes[c]);
+  }
+
+  // Compress the literal chunks concurrently (each payload depends only on
+  // its chunk's doubles, so the stream stays deterministic).
+  std::vector<std::vector<byte_t>> payloads(chunks);
+  parallel_for(0, static_cast<index_t>(chunks), [&](index_t c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (is_ref[i]) return;
+    const std::size_t begin = i * chunk_elems;
+    const std::size_t len = std::min(chunk_elems, n - begin);
+    payloads[i] = comp.compress(vec.subspan(begin, len));
+  });
+
+  ChunkEncodeStats stats;
+  stats.chunks = chunks;
+  out.put_string(comp.name());
+  out.put(static_cast<std::uint64_t>(n));
+  out.put(static_cast<std::uint64_t>(chunk_elems));
+  out.put(static_cast<std::uint32_t>(chunks));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    out.put(hashes[c]);
+    out.put(static_cast<std::uint8_t>(is_ref[c] ? ChunkTag::kRef
+                                                : ChunkTag::kLiteral));
+    if (is_ref[c]) {
+      ++stats.refs;
+      continue;
+    }
+    out.put(static_cast<std::uint64_t>(payloads[c].size()));
+    out.put(crc32(payloads[c]));
+    out.put_bytes(payloads[c]);
+    stats.literal_bytes += payloads[c].size();
+  }
+  out_hashes = std::move(hashes);
+  return stats;
+}
+
+ParsedDeltaStream parse_delta_stream(std::span<const byte_t> stream) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kDeltaMagic)
+    throw corrupt_stream_error("delta stream: bad magic");
+  if (in.get<std::uint16_t>() != kDeltaFormatVersion)
+    throw corrupt_stream_error("delta stream: unsupported format version");
+
+  ParsedDeltaStream parsed;
+  parsed.base_version = in.get<std::int32_t>();
+  parsed.chain_len = in.get<std::uint32_t>();
+  const auto var_count = in.get<std::uint32_t>();
+  parsed.vars.reserve(var_count);
+  for (std::uint32_t v = 0; v < var_count; ++v) {
+    ParsedDeltaVar var;
+    var.id = in.get<std::int32_t>();
+    var.name = in.get_string();
+    var.kind = static_cast<DeltaVarKind>(in.get<std::uint8_t>());
+    if (var.kind == DeltaVarKind::kVector) {
+      var.comp_name = in.get_string();
+      var.elem_count = in.get<std::uint64_t>();
+      var.chunk_elems = in.get<std::uint64_t>();
+      const auto chunk_count = in.get<std::uint32_t>();
+      // The header carries no CRC (only chunk payloads do), so the chunk
+      // geometry must be cross-validated before anyone slices a recovery
+      // target with it: an inconsistent elem_count/chunk_elems/chunk_count
+      // triple would otherwise underflow the tail-length arithmetic and
+      // write out of bounds.
+      const std::uint64_t expected_chunks =
+          var.elem_count == 0
+              ? 0
+              : (var.chunk_elems == 0
+                     ? 0
+                     : (var.elem_count + var.chunk_elems - 1) /
+                           var.chunk_elems);
+      if ((var.elem_count > 0 && var.chunk_elems == 0) ||
+          chunk_count != expected_chunks)
+        throw corrupt_stream_error(
+            "delta stream: inconsistent chunk geometry for variable " +
+            var.name);
+      var.chunks.reserve(chunk_count);
+      for (std::uint32_t c = 0; c < chunk_count; ++c) {
+        ParsedChunk chunk;
+        chunk.hash = in.get<std::uint64_t>();
+        chunk.tag = static_cast<ChunkTag>(in.get<std::uint8_t>());
+        if (chunk.tag == ChunkTag::kLiteral) {
+          const auto payload_size = in.get<std::uint64_t>();
+          const auto stored_crc = in.get<std::uint32_t>();
+          chunk.payload = in.get_bytes(payload_size);
+          if (crc32(chunk.payload) != stored_crc)
+            throw corrupt_stream_error(
+                "delta stream: chunk CRC mismatch for variable " + var.name);
+        } else if (chunk.tag != ChunkTag::kRef) {
+          throw corrupt_stream_error("delta stream: unknown chunk tag");
+        }
+        var.chunks.push_back(chunk);
+      }
+    } else if (var.kind == DeltaVarKind::kBlob) {
+      const auto size = in.get<std::uint64_t>();
+      const auto stored_crc = in.get<std::uint32_t>();
+      var.blob = in.get_bytes(size);
+      if (crc32(var.blob) != stored_crc)
+        throw corrupt_stream_error(
+            "delta stream: blob CRC mismatch for variable " + var.name);
+    } else {
+      throw corrupt_stream_error("delta stream: unknown variable kind");
+    }
+    parsed.vars.push_back(std::move(var));
+  }
+  return parsed;
+}
+
+}  // namespace lck

@@ -1,0 +1,136 @@
+#pragma once
+/// \file chunk_codec.hpp
+/// \brief Chunked, content-addressed checkpoint payload layer.
+///
+/// A delta-format checkpoint splits every protected vector into fixed-size
+/// chunks of `chunk_elems` doubles, hashes each chunk's raw bytes (CRC-64)
+/// and emits a manifest of per-chunk entries. A chunk whose content is
+/// already available — in the previous committed checkpoint (the *base*)
+/// or earlier in the same stream — is stored as a 9-byte *reference*
+/// instead of its compressed payload; recovery re-materializes references
+/// by walking the delta chain back towards the last full checkpoint.
+///
+/// Stream layout (ByteWriter little-endian):
+///
+///   u32 kDeltaMagic | u16 kDeltaFormatVersion | i32 base_version (-1 =
+///   full/chain start) | u32 chain_len | u32 var_count
+///   per var: i32 id | str name | u8 kind
+///     kind 0 (vector): str comp_name | u64 elem_count | u64 chunk_elems |
+///       u32 chunk_count | per chunk: u64 raw_hash | u8 tag
+///         tag 0 (literal): u64 payload_size | u32 payload_crc32 | payload
+///         tag 1 (ref): nothing — resolved by raw_hash within the chain
+///     kind 1 (blob): u64 size | u32 crc32 | bytes (verbatim, never delta)
+///
+/// The legacy (non-delta) checkpoint format is untouched: with delta
+/// encoding disabled the manager emits byte-identical streams to the
+/// pre-chunk serializer, and recovery dispatches on the magic.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.hpp"
+#include "compress/compressor.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace lck {
+
+inline constexpr std::uint32_t kDeltaMagic = 0x54504b44u;  // "DKPT"
+inline constexpr std::uint16_t kDeltaFormatVersion = 1;
+
+enum class ChunkTag : std::uint8_t { kLiteral = 0, kRef = 1 };
+enum class DeltaVarKind : std::uint8_t { kVector = 0, kBlob = 1 };
+
+/// True iff `stream` starts with the delta-format magic.
+[[nodiscard]] bool is_delta_stream(std::span<const byte_t> stream) noexcept;
+
+/// Base version of a delta-format stream without a full parse (used by the
+/// tiered store to keep chain bases alive per level), or nullopt when the
+/// blob is not delta-format.
+[[nodiscard]] std::optional<int> peek_delta_base(
+    std::span<const byte_t> stream) noexcept;
+
+/// Per-variable raw-content chunk hashes of one encoded version — the
+/// state a successor delta is computed against. The compressor name rides
+/// along so a mid-run codec swap can never produce a reference to a
+/// payload the new codec cannot decode.
+struct VarChunkHashes {
+  int id = 0;
+  std::string comp_name;
+  std::vector<std::uint64_t> hashes;
+};
+
+/// Everything a successor checkpoint needs to delta against a version.
+struct ChunkBaseState {
+  int version = -1;
+  std::size_t chunk_elems = 0;
+  std::uint32_t chain_len = 0;  ///< 0 for a full (chain-start) checkpoint.
+  std::vector<VarChunkHashes> vars;
+
+  /// Hashes usable as reference targets for variable `id` under compressor
+  /// `comp_name` — null when the variable is new or its codec changed.
+  [[nodiscard]] const std::vector<std::uint64_t>* hashes_for(
+      int id, const std::string& comp_name) const {
+    for (const auto& v : vars)
+      if (v.id == id) return v.comp_name == comp_name ? &v.hashes : nullptr;
+    return nullptr;
+  }
+};
+
+/// Encoder accounting for one vector variable.
+struct ChunkEncodeStats {
+  std::size_t chunks = 0;          ///< Total manifest entries.
+  std::size_t refs = 0;            ///< Chunks stored as references.
+  std::size_t literal_bytes = 0;   ///< Compressed payload bytes emitted.
+};
+
+/// Encode one vector as a chunk manifest into `out`. `base_hashes` is the
+/// same variable's hash list in the base version (null ⇒ every chunk is a
+/// literal candidate); chunks whose hash appears in the base or earlier in
+/// this stream become references. Literal chunks are compressed with `comp`
+/// concurrently (deterministic: the literal/ref decision and the emitted
+/// bytes depend only on the data). Appends this version's hash list to
+/// `out_hashes`.
+ChunkEncodeStats encode_chunked_vector(
+    ByteWriter& out, std::span<const double> vec, const Compressor& comp,
+    std::size_t chunk_elems, const std::vector<std::uint64_t>* base_hashes,
+    std::vector<std::uint64_t>& out_hashes);
+
+// ----- parsed view of a delta stream ----------------------------------------
+
+struct ParsedChunk {
+  std::uint64_t hash = 0;
+  ChunkTag tag = ChunkTag::kLiteral;
+  std::span<const byte_t> payload;  ///< Literal only; views into the stream.
+};
+
+struct ParsedDeltaVar {
+  int id = 0;
+  std::string name;
+  DeltaVarKind kind = DeltaVarKind::kVector;
+  // kind == kVector:
+  std::string comp_name;
+  std::uint64_t elem_count = 0;
+  std::uint64_t chunk_elems = 0;
+  std::vector<ParsedChunk> chunks;
+  // kind == kBlob:
+  std::span<const byte_t> blob;  ///< Views into the stream.
+};
+
+struct ParsedDeltaStream {
+  int base_version = -1;
+  std::uint32_t chain_len = 0;
+  std::vector<ParsedDeltaVar> vars;
+};
+
+/// Parse (and CRC-verify every literal payload of) a delta-format stream,
+/// cross-validating each vector's chunk geometry (elem_count, chunk_elems,
+/// chunk_count must agree). The returned spans view into `stream`, which
+/// must outlive the result. Throws corrupt_stream_error on malformed input
+/// or CRC mismatch.
+[[nodiscard]] ParsedDeltaStream parse_delta_stream(
+    std::span<const byte_t> stream);
+
+}  // namespace lck

@@ -1,0 +1,34 @@
+#include "ckpt/chunk/chunk_hash.hpp"
+
+#include <array>
+
+namespace lck {
+namespace {
+
+std::array<std::uint64_t, 256> make_table() noexcept {
+  // Reflected form of the ECMA-182 polynomial 0x42F0E1EBA9EA3693.
+  constexpr std::uint64_t kPoly = 0xc96c5795d7870f42ull;
+  std::array<std::uint64_t, 256> t{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1ull) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+const std::uint64_t* Crc64::table() noexcept {
+  static const auto t = make_table();
+  return t.data();
+}
+
+std::uint64_t crc64(std::span<const byte_t> data) noexcept {
+  Crc64 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace lck

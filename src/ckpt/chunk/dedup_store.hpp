@@ -1,0 +1,97 @@
+#pragma once
+/// \file dedup_store.hpp
+/// \brief Content-addressed checkpoint store: delta-format blobs are split
+///        into a skeleton (manifest + headers) plus chunk payloads keyed by
+///        the CRC-64 of their bytes, so identical chunks across versions —
+///        and across runs, via the on-disk chunk index — are stored once.
+///
+/// This is the L3 dedup of the tiered hierarchy: promotion hands the PFS
+/// tier a version's full stream, and the store keeps only the chunks not
+/// already resident. `read()` reassembles the original stream byte-exactly,
+/// so every reader stays dedup-agnostic. Non-delta blobs are stored
+/// verbatim (single raw part) — the store never changes observable bytes.
+///
+/// Thread-safety matches the other backends: external synchronization (the
+/// tiered store serializes access per level under its level mutex).
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint_store.hpp"
+
+namespace lck {
+
+class DedupChunkStore final : public CheckpointStore {
+ public:
+  /// `dir` empty ⇒ fully in-memory. Otherwise chunks persist under
+  /// `dir`/chunks/<hash>.chk and skeletons as `dir`/skel_<version>.lcks;
+  /// reopening rebuilds the index, so a new run dedups against the chunks
+  /// the previous run left behind. Chunks no skeleton references are swept
+  /// at open (the referencing versions are gone, so they are garbage).
+  explicit DedupChunkStore(std::string dir = "");
+
+  void write(int version, std::span<const byte_t> data) override;
+  [[nodiscard]] std::vector<byte_t> read(int version) const override;
+  [[nodiscard]] bool exists(int version) const override;
+  void remove(int version) override;
+  [[nodiscard]] int latest_version() const override;
+
+  // ----- dedup accounting ---------------------------------------------------
+  /// Unique chunk payloads resident.
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+  /// Bytes actually resident: skeleton raw bytes + unique chunk bytes.
+  [[nodiscard]] std::size_t physical_bytes() const noexcept;
+  /// Bytes the stored versions reassemble to (what a dedup-less store
+  /// would hold).
+  [[nodiscard]] std::size_t logical_bytes() const noexcept;
+  /// Chunk writes satisfied by an already-resident chunk (cumulative).
+  [[nodiscard]] std::size_t dedup_hits() const noexcept { return hits_; }
+  /// Payload bytes those hits avoided re-storing (cumulative).
+  [[nodiscard]] std::size_t dedup_bytes_saved() const noexcept {
+    return bytes_saved_;
+  }
+
+ private:
+  struct Part {
+    bool is_chunk = false;
+    std::vector<byte_t> raw;   ///< is_chunk == false
+    std::uint64_t hash = 0;    ///< is_chunk == true
+    std::uint64_t size = 0;    ///< chunk payload size (redundant check)
+  };
+  struct Skeleton {
+    std::vector<Part> parts;
+    std::size_t logical_size = 0;
+  };
+  struct Chunk {
+    /// In-memory mode: the payload. Directory mode: empty — payloads live
+    /// in `dir`/chunks/<hash>.chk and read() loads them on demand, so the
+    /// PFS tier is not mirrored in RAM.
+    std::vector<byte_t> bytes;
+    std::uint64_t size = 0;
+    int refs = 0;
+  };
+
+  void add_chunk_ref(std::uint64_t hash, std::span<const byte_t> payload);
+  void drop_chunk_ref(std::uint64_t hash);
+  void persist_skeleton(int version, const Skeleton& skel) const;
+  [[nodiscard]] std::string skel_path(int version) const;
+  [[nodiscard]] std::string chunk_path(std::uint64_t hash) const;
+  [[nodiscard]] std::string legacy_path(int version) const;
+  void load_from_dir();
+
+  std::string dir_;  ///< Empty ⇒ in-memory only.
+  std::map<int, Skeleton> skeletons_;
+  std::map<std::uint64_t, Chunk> chunks_;
+  /// Versions a pre-dedup DiskStore left in the directory as ckpt_<v>.lck
+  /// files; served verbatim so the backend swap cannot orphan old history.
+  std::set<int> legacy_versions_;
+  std::size_t hits_ = 0;
+  std::size_t bytes_saved_ = 0;
+};
+
+}  // namespace lck

@@ -4,9 +4,19 @@
 #include <utility>
 
 #include "ckpt/async_writer.hpp"
+#include "ckpt/chunk/chunk_codec.hpp"
+#include "ckpt/chunk/dedup_store.hpp"
 #include "ckpt/tier/partner_store.hpp"
 
 namespace lck {
+namespace {
+
+/// Upper bound on delta-chain walks inside the hierarchy. A real chain is
+/// bounded by the manager's max_delta_chain; this only guards against a
+/// corrupt blob whose base links form a loop.
+constexpr int kMaxChainHops = 1024;
+
+}  // namespace
 
 TieredCheckpointStore::TieredCheckpointStore(std::vector<Level> levels,
                                              bool auto_promote)
@@ -40,6 +50,10 @@ TieredCheckpointStore::~TieredCheckpointStore() {
 void TieredCheckpointStore::write(int version, std::span<const byte_t> data) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto base = peek_delta_base(data))
+      delta_base_[version] = *base;
+    else
+      delta_base_.erase(version);
     {
       const std::lock_guard<std::mutex> l0(*level_mu_[0]);
       levels_.front().store->write(version, data);
@@ -72,6 +86,7 @@ bool TieredCheckpointStore::exists(int version) const {
 void TieredCheckpointStore::remove(int version) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++epoch_;  // a stale in-flight promotion of this version must not land
+  delta_base_.erase(version);
   for (std::size_t lv = 0; lv < levels_.size(); ++lv) {
     const std::lock_guard<std::mutex> ll(*level_mu_[lv]);
     levels_[lv].store->remove(version);
@@ -95,6 +110,15 @@ int TieredCheckpointStore::latest_version() const {
 
 void TieredCheckpointStore::write_pending(int version,
                                           std::span<const byte_t> data) {
+  {
+    // The base link is recorded now (the data is at hand); if the version
+    // aborts, abort() retires the entry again.
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto base = peek_delta_base(data))
+      delta_base_[version] = *base;
+    else
+      delta_base_.erase(version);
+  }
   // Runs on the async drain thread. The L1 backend's pending protocol is
   // thread-safe against committed-side reads by contract; the level lock
   // keeps it clear of concurrent committed-side mutations too.
@@ -116,6 +140,10 @@ void TieredCheckpointStore::commit(int version) {
 }
 
 void TieredCheckpointStore::abort(int version) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    delta_base_.erase(version);
+  }
   const std::lock_guard<std::mutex> ll(*level_mu_[0]);
   levels_.front().store->abort(version);
 }
@@ -154,6 +182,11 @@ bool TieredCheckpointStore::exists_at(int level, int version) const {
   require(level >= 0 && level < level_count(), "tiered store: bad level");
   const std::lock_guard<std::mutex> lock(mu_);
   return committed_at_locked(level, version);
+}
+
+const CheckpointStore& TieredCheckpointStore::store_at(int level) const {
+  require(level >= 0 && level < level_count(), "tiered store: bad level");
+  return *levels_[static_cast<std::size_t>(level)].store;
 }
 
 int TieredCheckpointStore::latest_version_at(int level) const {
@@ -195,25 +228,82 @@ void TieredCheckpointStore::invalidate(FailureSeverity severity) {
         partner->fail_node(PartnerStore::kLocalHalf);
     }
   }
+  // Base links of versions no surviving tier holds are dead; retire them so
+  // repeated failures cannot grow the map for the life of the store.
+  std::erase_if(delta_base_, [this](const auto& e) {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (committed_[l].contains(e.first)) return false;
+      if (preloaded_[l]) {
+        const std::lock_guard<std::mutex> lp(*level_mu_[l]);
+        if (levels_[l].store->exists(e.first)) return false;
+      }
+    }
+    return true;
+  });
 }
 
 // ----- promotion ------------------------------------------------------------
+
+int TieredCheckpointStore::delta_base_locked(int version) const {
+  const auto it = delta_base_.find(version);
+  return it != delta_base_.end() ? it->second : -1;
+}
 
 void TieredCheckpointStore::prune_level_locked(int level) {
   const auto lv = static_cast<std::size_t>(level);
   auto& set = committed_[lv];
   const int keep = levels_[lv].spec.retention;
-  const std::lock_guard<std::mutex> ll(*level_mu_[lv]);
-  while (static_cast<int>(set.size()) > keep) {
-    const int victim = *set.begin();
-    levels_[lv].store->remove(victim);
-    set.erase(set.begin());
+  if (static_cast<int>(set.size()) <= keep) return;
+
+  // Retention counts the newest `keep` versions, but a delta chain's bases
+  // must outlive every retained version that references them: dropping a
+  // base from this tier would leave its dependants unrecoverable here.
+  std::set<int> live;
+  int roots = 0;
+  for (auto it = set.rbegin(); it != set.rend() && roots < keep;
+       ++it, ++roots) {
+    int v = *it;
+    while (v >= 0 && !live.contains(v)) {
+      live.insert(v);
+      v = delta_base_locked(v);
+    }
+  }
+
+  std::vector<int> victims;
+  {
+    const std::lock_guard<std::mutex> ll(*level_mu_[lv]);
+    for (auto it = set.begin(); it != set.end();) {
+      if (live.contains(*it)) {
+        ++it;
+        continue;
+      }
+      levels_[lv].store->remove(*it);
+      victims.push_back(*it);
+      it = set.erase(it);
+    }
+  }
+  // A version pruned from its last tier can never be a chain base again;
+  // retire its base-link entry so the map stays bounded over long runs. A
+  // preloaded backend can serve versions outside the committed sets, so ask
+  // it per victim rather than skipping the sweep wholesale.
+  for (const int v : victims) {
+    bool resident = false;
+    for (std::size_t l = 0; l < levels_.size() && !resident; ++l) {
+      resident = committed_[l].contains(v);
+      if (!resident && preloaded_[l]) {
+        const std::lock_guard<std::mutex> lp(*level_mu_[l]);
+        resident = levels_[l].store->exists(v);
+      }
+    }
+    if (!resident) delta_base_.erase(v);
   }
 }
 
-bool TieredCheckpointStore::promote_locked(int version, int level) {
+bool TieredCheckpointStore::promote_locked(int version, int level,
+                                           int depth) {
   const auto lv = static_cast<std::size_t>(level);
   if (committed_[lv].contains(version)) return true;  // already promoted
+  if (depth > kMaxChainHops) return false;            // corrupt base loop
   int src = -1;
   for (int i = level - 1; i >= 0; --i)
     if (committed_at_locked(i, version)) {
@@ -221,6 +311,12 @@ bool TieredCheckpointStore::promote_locked(int version, int level) {
       break;
     }
   if (src < 0) return false;  // source invalidated or pruned meanwhile
+  // A delta version is only recoverable at the target tier alongside its
+  // chain bases; copy them first (deepest first), so the tier never holds
+  // a dangling delta. A base that no longer exists anywhere below is a
+  // best-effort skip — reads fall back across tiers per version.
+  if (const int base = delta_base_locked(version); base >= 0)
+    promote_locked(base, level, depth + 1);
   std::vector<byte_t> data;
   {
     const std::lock_guard<std::mutex> ls(
@@ -243,10 +339,13 @@ bool TieredCheckpointStore::promote_now(int version, int level) {
   return promote_locked(version, level);
 }
 
-void TieredCheckpointStore::promote_background(int version, int level) {
+void TieredCheckpointStore::promote_background(int version, int level,
+                                               int depth) {
+  if (depth > kMaxChainHops) return;  // corrupt base loop
   const auto lv = static_cast<std::size_t>(level);
   std::uint64_t epoch = 0;
   int src = -1;
+  int base = -1;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (committed_[lv].contains(version)) return;  // already promoted
@@ -256,8 +355,12 @@ void TieredCheckpointStore::promote_background(int version, int level) {
         src = i;
         break;
       }
+    base = delta_base_locked(version);
   }
   if (src < 0) return;  // source invalidated or pruned meanwhile
+  // Chain bases first (deepest first): the target tier must never hold a
+  // delta whose bases it cannot also serve.
+  if (base >= 0) promote_background(base, level, depth + 1);
 
   // Copy outside mu_ so slow interconnect/PFS backends never stall L1
   // traffic; the per-level locks serialize against same-tier access only.
@@ -368,11 +471,10 @@ std::unique_ptr<TieredCheckpointStore> make_tiered_store(
   levels.push_back({TierSpec{"L2-partner", FailureSeverity::kNode, retention,
                              l2_promote_every},
                     std::make_unique<PartnerStore>()});
-  std::unique_ptr<CheckpointStore> pfs;
-  if (pfs_dir.empty())
-    pfs = std::make_unique<MemoryStore>();
-  else
-    pfs = std::make_unique<DiskStore>(pfs_dir);
+  // The PFS tier is content-addressed: chunks identical across versions —
+  // and across runs, when `pfs_dir` persists the chunk index — are stored
+  // once (see dedup_store.hpp). Non-delta blobs pass through verbatim.
+  auto pfs = std::make_unique<DedupChunkStore>(pfs_dir);
   levels.push_back({TierSpec{"L3-pfs", FailureSeverity::kSystem, retention,
                              l3_promote_every},
                     std::move(pfs)});

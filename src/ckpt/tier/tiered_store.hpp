@@ -20,6 +20,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -83,6 +84,10 @@ class TieredCheckpointStore final : public CheckpointStore {
   [[nodiscard]] int level_of(int version) const;
   [[nodiscard]] bool exists_at(int level, int version) const;
   [[nodiscard]] int latest_version_at(int level) const;
+  /// Backend of one level, e.g. to inspect the L3 DedupChunkStore's chunk
+  /// index. External synchronization: do not touch it while background
+  /// promotions are running.
+  [[nodiscard]] const CheckpointStore& store_at(int level) const;
 
   // ----- severity model -----------------------------------------------------
   /// Destroy every tier whose spec does not survive `severity`. A node
@@ -115,13 +120,16 @@ class TieredCheckpointStore final : public CheckpointStore {
 
  private:
   [[nodiscard]] bool committed_at_locked(int level, int version) const;
-  bool promote_locked(int version, int level);
+  bool promote_locked(int version, int level, int depth = 0);
   /// Background single-hop promotion: decides under mu_, copies under the
   /// per-level store locks only (so the owner's L1 writes and other-tier
   /// reads keep flowing), republishes under mu_ with an epoch check so a
   /// concurrent invalidate() cannot be undone by a stale copy.
-  void promote_background(int version, int level);
+  void promote_background(int version, int level, int depth = 0);
   void prune_level_locked(int level);
+  /// Delta base of `version` (-1 full / non-delta), learned by peeking the
+  /// blob header as it entered the hierarchy. Guarded by mu_.
+  [[nodiscard]] int delta_base_locked(int version) const;
   /// Enqueue the background promotion of `version` through levels 1..N-1
   /// (per their promote_every filters). Blocks while the queue is full.
   void schedule_promotions(int version);
@@ -144,6 +152,10 @@ class TieredCheckpointStore final : public CheckpointStore {
   /// promotion writes the destination store before its epoch check, and
   /// the fallback would transiently resurrect an invalidated version.
   std::vector<bool> preloaded_;
+  /// version → delta base version, for chain-aware pruning and promotion
+  /// (absent or -1 ⇒ full / legacy blob). Learned at write/write_pending
+  /// time by peeking the stream header.
+  std::map<int, int> delta_base_;
   std::uint64_t epoch_ = 0;  ///< Bumped by invalidate()/remove().
   std::size_t promo_in_flight_ = 0;
   std::size_t max_inflight_ = 16;

@@ -1,0 +1,48 @@
+#pragma once
+/// \file file_io.hpp
+/// \brief Whole-file byte I/O shared by the disk-backed checkpoint stores:
+///        bounds-checked read, and crash-safe write via the classic
+///        write-to-temporary + rename() (atomic on POSIX) pattern.
+
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lck {
+
+/// Read an entire file. Throws corrupt_stream_error if the file cannot be
+/// opened or the read comes up short.
+[[nodiscard]] inline std::vector<byte_t> read_file_bytes(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw corrupt_stream_error("file io: cannot open " + path);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<byte_t> data(size);
+  f.read(reinterpret_cast<char*>(data.data()),
+         static_cast<std::streamsize>(size));
+  if (!f) throw corrupt_stream_error("file io: short read " + path);
+  return data;
+}
+
+/// Write `data` to `path` atomically: the bytes land in `path` + ".tmp"
+/// first and are rename()d into place, so readers never observe a torn
+/// file and a crash leaves only a sweepable .tmp leftover.
+inline void atomic_write_file(const std::string& path,
+                              std::span<const byte_t> data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw corrupt_stream_error("file io: cannot open " + tmp);
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (!f) throw corrupt_stream_error("file io: short write " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace lck

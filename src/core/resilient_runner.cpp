@@ -49,6 +49,9 @@ void ResilienceConfig::validate() const {
   if (tiered.l3_promote_every < 1)
     violation("tiered.l3_promote_every must be >= 1");
   if (tiered.retention < 1) violation("tiered.retention must be >= 1");
+  if (delta.max_delta_chain < 0)
+    violation("delta.max_delta_chain must be >= 0");
+  if (delta.chunk_elems < 1) violation("delta.chunk_elems must be >= 1");
   if (max_steps < 1) violation("max_steps must be >= 1");
   if (!errors.empty()) throw config_error(errors);
 }
@@ -106,6 +109,8 @@ ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
   // retention is per tier (inside the store); the manager-level prune is
   // parked far away so it never fights the hierarchy.
   manager_->set_retention(cfg_.ckpt_mode == CkptMode::kTiered ? (1 << 28) : 2);
+  if (cfg_.delta.max_delta_chain > 0)
+    manager_->set_delta(cfg_.delta.max_delta_chain, cfg_.delta.chunk_elems);
   register_variables();
   policy_ = make_policy(cfg_.policy.name, make_policy_context());
 }
@@ -256,21 +261,38 @@ bool ResilientRunner::do_checkpoint() {
 
   t_ += duration;
   last_ckpt_t_ = t_;
-  stored_bytes_last_ =
-      static_cast<double>(rec.stored_bytes) * cfg_.dynamic_scale;
-  raw_dyn_bytes_last_ = static_cast<double>(rec.raw_bytes) * cfg_.dynamic_scale;
+  account_committed(rec);
   ++result_.checkpoints;
   result_.ckpt_seconds_total += duration;
   committed_blocking_total_ += duration;
   result_.mean_ckpt_stored_bytes += (stored_bytes_last_ -
                                      result_.mean_ckpt_stored_bytes) /
                                     result_.checkpoints;
-  if (rec.stored_bytes > 0)
-    result_.compression_ratio =
-        static_cast<double>(rec.raw_bytes) /
-        static_cast<double>(rec.stored_bytes);
   policy_->on_checkpoint_committed(duration, stored_bytes_last_);
   return true;
+}
+
+void ResilientRunner::account_committed(const CheckpointRecord& rec) {
+  stored_bytes_last_ =
+      static_cast<double>(rec.stored_bytes) * cfg_.dynamic_scale;
+  raw_dyn_bytes_last_ =
+      static_cast<double>(rec.raw_bytes) * cfg_.dynamic_scale;
+  // A delta checkpoint's recovery re-reads its chain bases too.
+  chain_stored_last_ = rec.base_version >= 0
+                           ? chain_stored_last_ + stored_bytes_last_
+                           : stored_bytes_last_;
+  if (rec.base_version >= 0)
+    result_.delta_bytes_total += stored_bytes_last_;
+  else
+    ++result_.full_checkpoints;
+  result_.chunks_deduped += rec.chunks_deduped;
+  // The codec's ratio is only observable on full checkpoints — a delta's
+  // raw/stored quotient conflates chunk dedup with compression and would
+  // credit the "none" codec with tens-of-x. Delta savings are reported
+  // separately (delta_bytes_total, chunks_deduped).
+  if (rec.base_version < 0 && rec.stored_bytes > 0)
+    result_.compression_ratio = static_cast<double>(rec.raw_bytes) /
+                                static_cast<double>(rec.stored_bytes);
 }
 
 // ----- async pipeline -------------------------------------------------------
@@ -305,13 +327,11 @@ void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
   // already closed would silently never happen.
   if (tiered_ != nullptr) apply_promotions(t_);
   manager_->commit_version(pending_version_);
-  stored_bytes_last_ =
-      static_cast<double>(pending_rec_.stored_bytes) * cfg_.dynamic_scale;
-  raw_dyn_bytes_last_ =
-      static_cast<double>(pending_rec_.raw_bytes) * cfg_.dynamic_scale;
+  account_committed(pending_rec_);
   if (tiered_ != nullptr) {
     version_bytes_[pending_version_] = {stored_bytes_last_,
-                                        raw_dyn_bytes_last_};
+                                        raw_dyn_bytes_last_,
+                                        pending_rec_.base_version};
     // Only versions still resident in some tier can ever be recovered;
     // drop size entries older than the deepest possible retention window
     // so the map stays O(retention) over arbitrarily long runs. The window
@@ -323,10 +343,13 @@ void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
                                           cfg_.tiered.l3_promote_every,
                                           policy_->l2_promote_every(),
                                           policy_->l3_promote_every()}) +
-        1;
+        cfg_.delta.max_delta_chain + 1;
     version_bytes_.erase(
         version_bytes_.begin(),
         version_bytes_.lower_bound(pending_version_ - keep_span));
+    for (auto& scheduled : scheduled_promos_)
+      scheduled.erase(scheduled.begin(),
+                      scheduled.lower_bound(pending_version_ - keep_span));
     // The version became durable at L1 when its drain window closed; the
     // background channel starts its L2/L3 hops no earlier than that.
     schedule_virtual_promotions(pending_version_, stored_bytes_last_,
@@ -338,10 +361,6 @@ void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
   result_.mean_ckpt_stored_bytes += (stored_bytes_last_ -
                                      result_.mean_ckpt_stored_bytes) /
                                     result_.checkpoints;
-  if (pending_rec_.stored_bytes > 0)
-    result_.compression_ratio =
-        static_cast<double>(pending_rec_.raw_bytes) /
-        static_cast<double>(pending_rec_.stored_bytes);
   policy_->on_checkpoint_committed(pending_blocking_, stored_bytes_last_);
   pending_version_ = -1;
   pending_known_ = false;
@@ -436,16 +455,37 @@ void ResilientRunner::schedule_virtual_promotions(int version,
                                                   double stored_bytes,
                                                   double ready_t) {
   promo_tail_t_ = std::max(promo_tail_t_, ready_t);
-  if (version % policy_->l2_promote_every() == 0) {
-    const double cost = cfg_.cluster.partner_write_seconds(stored_bytes);
+  const auto enqueue = [this](int v, int level, double stored) {
+    const double cost = level == 1 ? cfg_.cluster.partner_write_seconds(stored)
+                                   : cfg_.cluster.write_seconds(stored);
     promo_tail_t_ += cost;
-    promo_queue_.push_back({version, 1, promo_tail_t_, cost});
-  }
-  if (version % policy_->l3_promote_every() == 0) {
-    const double cost = cfg_.cluster.write_seconds(stored_bytes);
-    promo_tail_t_ += cost;
-    promo_queue_.push_back({version, 2, promo_tail_t_, cost});
-  }
+    promo_queue_.push_back({v, level, promo_tail_t_, cost});
+    scheduled_promos_[static_cast<std::size_t>(level - 1)].insert(v);
+  };
+  // A delta version is only recoverable at a tier if its chain bases are
+  // there too, so a promotion hop carries any base the cadence skipped —
+  // deepest (chain-start) first, each at its own stored size.
+  const auto enqueue_chain = [this, &enqueue](int v, int level,
+                                              double stored) {
+    std::vector<std::pair<int, double>> hops{{v, stored}};
+    auto it = version_bytes_.find(v);
+    int base = it != version_bytes_.end() ? it->second.base : -1;
+    while (base >= 0 &&
+           !scheduled_promos_[static_cast<std::size_t>(level - 1)].contains(
+               base) &&
+           !tiered_->exists_at(level, base)) {
+      it = version_bytes_.find(base);
+      if (it == version_bytes_.end()) break;  // pruned accounting: best effort
+      hops.emplace_back(base, it->second.stored);
+      base = it->second.base;
+    }
+    for (auto h = hops.rbegin(); h != hops.rend(); ++h)
+      enqueue(h->first, level, h->second);
+  };
+  if (version % policy_->l2_promote_every() == 0)
+    enqueue_chain(version, 1, stored_bytes);
+  if (version % policy_->l3_promote_every() == 0)
+    enqueue_chain(version, 2, stored_bytes);
 }
 
 void ResilientRunner::apply_promotions(double now) {
@@ -465,13 +505,9 @@ void ResilientRunner::apply_promotions(double now) {
 
 double ResilientRunner::tiered_recovery_duration(int version, int level,
                                                  FailureSeverity worst) const {
-  double stored = stored_bytes_last_;
   double raw = raw_dyn_bytes_last_;
-  if (const auto it = version_bytes_.find(version);
-      it != version_bytes_.end()) {
-    stored = it->second.first;
-    raw = it->second.second;
-  }
+  if (const auto it = version_bytes_.find(version); it != version_bytes_.end())
+    raw = it->second.raw;
   // Process failures restart within the allocation: the static state (A, M,
   // b) is still resident. Node-or-worse failures re-read it from the PFS,
   // exactly like the single-level model.
@@ -480,21 +516,45 @@ double ResilientRunner::tiered_recovery_duration(int version, int level,
   // re-read is a separate PFS operation with its own latency; an L3
   // recovery reads checkpoint + static state in one PFS pass, matching
   // recovery_duration()'s single-level accounting (no double latency).
-  const double static_read =
-      read_static ? cfg_.cluster.read_seconds(cfg_.static_bytes) : 0.0;
+  // A delta version additionally re-reads its chain bases, each from the
+  // cheapest tier still holding it and at its own stored size.
   double seconds = 0.0;
-  switch (level) {
-    case 0:
-      seconds = cfg_.cluster.local_read_seconds(stored) + static_read;
-      break;
-    case 1:
-      seconds = cfg_.cluster.partner_read_seconds(stored) + static_read;
-      break;
-    default:
-      seconds = cfg_.cluster.read_seconds(
-          stored + (read_static ? cfg_.static_bytes : 0.0));
-      break;
+  bool static_folded = false;
+  int v = version;
+  int hops = 0;
+  while (v >= 0 && hops++ <= cfg_.delta.max_delta_chain) {
+    double stored = stored_bytes_last_;
+    int base = -1;
+    int lvl = level;
+    if (const auto it = version_bytes_.find(v); it != version_bytes_.end()) {
+      stored = it->second.stored;
+      base = it->second.base;
+    }
+    if (hops > 1) {
+      // Chain bases may live at a different tier than the target version.
+      const int found = tiered_ != nullptr ? tiered_->level_of(v) : -1;
+      if (found >= 0) lvl = found;
+    }
+    switch (lvl) {
+      case 0:
+        seconds += cfg_.cluster.local_read_seconds(stored);
+        break;
+      case 1:
+        seconds += cfg_.cluster.partner_read_seconds(stored);
+        break;
+      default:
+        if (read_static && !static_folded) {
+          seconds += cfg_.cluster.read_seconds(stored + cfg_.static_bytes);
+          static_folded = true;
+        } else {
+          seconds += cfg_.cluster.read_seconds(stored);
+        }
+        break;
+    }
+    v = base;
   }
+  if (read_static && !static_folded)
+    seconds += cfg_.cluster.read_seconds(cfg_.static_bytes);
   return seconds + decompress_cost(raw);
 }
 
@@ -507,6 +567,10 @@ void ResilientRunner::note_failure(FailureSeverity sev) {
     // everything still on the channel is lost with the staging buffers.
     apply_promotions(t_);
     promo_queue_.clear();
+    // Queued-but-dead promotions never happened; exists_at() is the only
+    // truth about what reached each tier, so future chain scheduling must
+    // re-check rather than trust these entries.
+    for (auto& scheduled : scheduled_promos_) scheduled.clear();
     promo_tail_t_ = t_;
     tiered_->invalidate(sev);
   }
@@ -536,7 +600,7 @@ void ResilientRunner::handle_failure() {
       have_ckpt = manager_->has_checkpoint();
       duration =
           have_ckpt
-              ? recovery_duration(stored_bytes_last_, raw_dyn_bytes_last_)
+              ? recovery_duration(chain_stored_last_, raw_dyn_bytes_last_)
               : cfg_.cluster.read_seconds(cfg_.static_bytes);
     }
     if (injector_.interrupts(t_, duration)) {

@@ -32,6 +32,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "ckpt/checkpoint_manager.hpp"
@@ -86,6 +87,20 @@ struct TieredConfig {
   int retention = 2;
 };
 
+/// Chunked content-addressed delta checkpointing (ckpt/chunk/). Disabled by
+/// default: at `max_delta_chain = 0` every scheme × mode combination emits
+/// streams byte-identical to the pre-delta serializer.
+struct DeltaConfig {
+  /// Maximum consecutive delta checkpoints riding on one full checkpoint
+  /// before the next full is forced (bounds recovery read amplification
+  /// and how long retention must keep chain bases). 0 disables delta
+  /// encoding entirely.
+  int max_delta_chain = 0;
+  /// Chunk size in doubles — the unit of hashing, dedup and parallel
+  /// compression.
+  std::size_t chunk_elems = CheckpointManager::kDefaultChunkElems;
+};
+
 /// Checkpoint pacing (see ckpt_policy.hpp for the policy implementations).
 struct PolicyConfig {
   /// make_policy name: "fixed" (the paper's offline interval, default),
@@ -107,6 +122,7 @@ struct ResilienceConfig {
   FailureConfig failure{};
   TieredConfig tiered{};
   PolicyConfig policy{};
+  DeltaConfig delta{};
 
   /// Virtual cost of one solver iteration at cluster scale (calibrated per
   /// method, e.g. GMRES ≈ 1.22 s at 2,048 ranks — paper §4.3).
@@ -182,9 +198,25 @@ struct ResilienceResult {
   double promotion_seconds_total = 0.0;
 
   /// Cluster-scale stored checkpoint size (mean over checkpoints) and the
-  /// achieved dynamic-state compression ratio.
+  /// achieved dynamic-state compression ratio. With delta encoding the
+  /// ratio reflects *full* checkpoints only (a delta's raw/stored quotient
+  /// would conflate chunk dedup with the codec); delta savings are in
+  /// delta_bytes_total / chunks_deduped below.
   double mean_ckpt_stored_bytes = 0.0;
   double compression_ratio = 1.0;
+
+  /// Delta checkpointing counters. At max_delta_chain = 0,
+  /// delta_bytes_total and chunks_deduped are zero and full_checkpoints
+  /// equals checkpoints (every committed checkpoint is full).
+  /// delta_bytes_total: cluster-scale stored bytes of the committed
+  /// *delta* (non-full) checkpoints — what the runner actually paid to
+  /// stage/drain them.
+  double delta_bytes_total = 0.0;
+  /// Chunks stored as references instead of payload bytes, summed over
+  /// committed checkpoints.
+  std::size_t chunks_deduped = 0;
+  /// Committed chain-start (full) checkpoints.
+  int full_checkpoints = 0;
 
   /// The pacing policy's target interval when the run ended (the fixed
   /// interval for "fixed", the derived one for "young"/"adaptive") and how
@@ -239,6 +271,10 @@ class ResilientRunner {
   /// its drain window that ran concurrently with iterations (the rest, if
   /// any, was back-pressure and is charged as blocking time by the caller).
   void commit_pending(double overlapped_drain_seconds);
+  /// Shared commit accounting for the sync and staged paths: cluster-scale
+  /// last-committed sizes, the chain-total recovery bytes, and the delta
+  /// counters.
+  void account_committed(const CheckpointRecord& rec);
   void settle_pending_at_failure();  ///< Commit or abort at failure time t_.
   void finish_pending_at_exit();     ///< Commit the tail drain on run end.
   void handle_failure();
@@ -270,6 +306,10 @@ class ResilientRunner {
   ResilienceResult result_;
   double stored_bytes_last_ = 0.0;  // cluster-scale stored size of last
   double raw_dyn_bytes_last_ = 0.0;  // *committed* checkpoint
+  /// Cluster-scale bytes a recovery of the last committed version must
+  /// read: the version itself plus its delta-chain bases (== the stored
+  /// size when delta encoding is off).
+  double chain_stored_last_ = 0.0;
 
   // Async pipeline: the drain in flight, if any.
   int pending_version_ = -1;
@@ -292,9 +332,20 @@ class ResilientRunner {
   };
   std::deque<VirtualPromotion> promo_queue_;
   double promo_tail_t_ = 0.0;  ///< Busy-until time of the promotion channel.
-  /// Cluster-scale (stored, raw) bytes per committed version, so recovery
-  /// from an older tier copy is charged that version's true size.
-  std::map<int, std::pair<double, double>> version_bytes_;
+  /// Cluster-scale stored/raw bytes and delta base per committed version,
+  /// so recovery from an older tier copy is charged that version's true
+  /// size — including its chain bases when delta encoding is on.
+  struct VersionBytes {
+    double stored = 0.0;
+    double raw = 0.0;
+    int base = -1;
+  };
+  std::map<int, VersionBytes> version_bytes_;
+  /// Versions already enqueued on the promotion channel per target level
+  /// (index 0 = L2, 1 = L3), so a delta's chain bases are promoted exactly
+  /// once even when the cadence skips them. Cleared on failure: the queue
+  /// died, and exists_at() tells us what actually made it.
+  std::array<std::set<int>, 2> scheduled_promos_;
 };
 
 }  // namespace lck

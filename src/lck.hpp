@@ -9,7 +9,8 @@
 ///  - problem setup:   CsrMatrix, generators (poisson3d, kkt), Matrix
 ///                     Market I/O, make_solver / make_preconditioner
 ///  - checkpointing:   CheckpointManager (Protect/Checkpoint/Recover),
-///                     stores (memory, disk, tiered), make_compressor
+///                     stores (memory, disk, tiered, dedup), make_compressor,
+///                     chunked delta encoding (DeltaConfig / set_delta)
 ///  - pacing:          CheckpointPolicy + make_policy ("fixed" | "young" |
 ///                     "adaptive"), PolicyContext
 ///  - execution:       ResilientRunner + ResilienceConfig (nested
@@ -24,6 +25,8 @@
 
 #include "ckpt/checkpoint_manager.hpp"
 #include "ckpt/checkpoint_store.hpp"
+#include "ckpt/chunk/chunk_codec.hpp"
+#include "ckpt/chunk/dedup_store.hpp"
 #include "common/severity.hpp"
 #include "common/types.hpp"
 #include "compress/compressor.hpp"

@@ -34,36 +34,10 @@ void parallel_for(index_t begin, index_t end, Body&& body) {
 #endif
 }
 
-/// Parallel sum-reduction over [begin, end); `body(i)` returns the term.
-template <typename Body>
-double parallel_reduce_sum(index_t begin, index_t end, Body&& body) {
-  double sum = 0.0;
-#if defined(_OPENMP)
-#pragma omp parallel for schedule(static) reduction(+ : sum)
-  for (index_t i = begin; i < end; ++i) sum += body(i);
-#else
-  for (index_t i = begin; i < end; ++i) sum += body(i);
-#endif
-  return sum;
-}
-
-/// Parallel max-reduction over [begin, end); `body(i)` returns the term.
-template <typename Body>
-double parallel_reduce_max(index_t begin, index_t end, Body&& body) {
-  double m = 0.0;
-#if defined(_OPENMP)
-#pragma omp parallel for schedule(static) reduction(max : m)
-  for (index_t i = begin; i < end; ++i) {
-    const double v = body(i);
-    if (v > m) m = v;
-  }
-#else
-  for (index_t i = begin; i < end; ++i) {
-    const double v = body(i);
-    if (v > m) m = v;
-  }
-#endif
-  return m;
-}
+// Reductions live in sparse/vector_ops.hpp (detail::deterministic_reduce):
+// an OpenMP `reduction` clause reassociates floating-point sums per thread
+// count, which would make solver trajectories machine-dependent, so the
+// convenient-but-irreproducible helpers were removed rather than kept
+// available for accidental reintroduction.
 
 }  // namespace lck

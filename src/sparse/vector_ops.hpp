@@ -5,17 +5,83 @@
 /// All kernels are OpenMP-parallel and operate on std::vector<double> /
 /// std::span<double> so that solver code reads like the algorithm statements
 /// in the paper (Algorithm 1/2).
+///
+/// The reductions (dot, norm2, norm_inf) use a *deterministic fixed
+/// partition*: the range is split into blocks whose boundaries depend only
+/// on the length (via Partitioner), per-block partial results are computed
+/// independently (in parallel), and the partials are combined serially in
+/// block order. The result is therefore bit-stable regardless of the thread
+/// count — an OpenMP `reduction(+)` clause, by contrast, reassociates the
+/// sum differently per thread count, which would make solver trajectories
+/// (and the virtual-clock results built on them) irreproducible across
+/// machines.
 
 #include <cmath>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/partitioner.hpp"
 
 namespace lck {
 
 using Vector = std::vector<double>;
+
+namespace detail {
+
+/// Elements per reduction block. Small inputs (the local test problems)
+/// stay in one block, which reproduces the plain serial sum bit-for-bit;
+/// large inputs get one block per ~128 KiB with the partials combined in
+/// fixed order.
+inline constexpr index_t kReductionBlockElems = 16384;
+
+/// Deterministic reduction of term(i) over [0, n): fixed partition (block
+/// boundaries depend only on n), parallel per-block partials, serial
+/// in-order combine of accumulator and term/partial values (starting from
+/// 0.0 at every level, so a ≤-one-block input reproduces the plain serial
+/// loop bit-for-bit).
+template <typename Term, typename Combine>
+[[nodiscard]] double deterministic_reduce(index_t n, Term&& term,
+                                          Combine&& combine) {
+  if (n <= kReductionBlockElems) {
+    double acc = 0.0;
+    for (index_t i = 0; i < n; ++i) acc = combine(acc, term(i));
+    return acc;
+  }
+  const int blocks =
+      static_cast<int>((n + kReductionBlockElems - 1) / kReductionBlockElems);
+  const Partitioner part(n, blocks);
+  std::vector<double> partial(static_cast<std::size_t>(blocks), 0.0);
+  parallel_for(0, blocks, [&](index_t b) {
+    const int blk = static_cast<int>(b);
+    const index_t begin = part.offset(blk);
+    const index_t end = begin + part.local_size(blk);
+    double acc = 0.0;
+    for (index_t i = begin; i < end; ++i) acc = combine(acc, term(i));
+    partial[static_cast<std::size_t>(b)] = acc;
+  });
+  double acc = 0.0;
+  for (const double v : partial) acc = combine(acc, v);
+  return acc;
+}
+
+template <typename Term>
+[[nodiscard]] double deterministic_reduce_sum(index_t n, Term&& term) {
+  return deterministic_reduce(n, std::forward<Term>(term),
+                              [](double a, double v) { return a + v; });
+}
+
+/// Max is order-insensitive, but the fixed partition keeps the parallel
+/// shape (and any future tweak to it) uniform with the sums.
+template <typename Term>
+[[nodiscard]] double deterministic_reduce_max(index_t n, Term&& term) {
+  return deterministic_reduce(n, std::forward<Term>(term),
+                              [](double a, double v) { return v > a ? v : a; });
+}
+
+}  // namespace detail
 
 /// y := x (sizes must match).
 inline void copy(std::span<const double> x, std::span<double> y) {
@@ -55,31 +121,33 @@ inline void scale(std::span<double> x, double alpha) {
   parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { x[i] *= alpha; });
 }
 
-/// Dot product xᵀy.
+/// Dot product xᵀy (deterministic fixed-partition reduction: bit-stable
+/// for any thread count).
 [[nodiscard]] inline double dot(std::span<const double> x, std::span<const double> y) {
   require(x.size() == y.size(), "dot: size mismatch");
-  return parallel_reduce_sum(0, static_cast<index_t>(x.size()),
-                             [&](index_t i) { return x[i] * y[i]; });
+  return detail::deterministic_reduce_sum(
+      static_cast<index_t>(x.size()), [&](index_t i) { return x[i] * y[i]; });
 }
 
-/// Euclidean norm ||x||₂.
+/// Euclidean norm ||x||₂ (deterministic fixed-partition reduction).
 [[nodiscard]] inline double norm2(std::span<const double> x) {
-  return std::sqrt(parallel_reduce_sum(0, static_cast<index_t>(x.size()),
-                                       [&](index_t i) { return x[i] * x[i]; }));
+  return std::sqrt(detail::deterministic_reduce_sum(
+      static_cast<index_t>(x.size()), [&](index_t i) { return x[i] * x[i]; }));
 }
 
-/// Max norm ||x||∞.
+/// Max norm ||x||∞ (deterministic fixed-partition reduction).
 [[nodiscard]] inline double norm_inf(std::span<const double> x) {
-  return parallel_reduce_max(0, static_cast<index_t>(x.size()),
-                             [&](index_t i) { return std::fabs(x[i]); });
+  return detail::deterministic_reduce_max(
+      static_cast<index_t>(x.size()), [&](index_t i) { return std::fabs(x[i]); });
 }
 
 /// Max pointwise absolute difference ||x − y||∞.
 [[nodiscard]] inline double max_abs_diff(std::span<const double> x,
                                          std::span<const double> y) {
   require(x.size() == y.size(), "max_abs_diff: size mismatch");
-  return parallel_reduce_max(0, static_cast<index_t>(x.size()),
-                             [&](index_t i) { return std::fabs(x[i] - y[i]); });
+  return detail::deterministic_reduce_max(
+      static_cast<index_t>(x.size()),
+      [&](index_t i) { return std::fabs(x[i] - y[i]); });
 }
 
 }  // namespace lck

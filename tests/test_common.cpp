@@ -13,6 +13,7 @@
 #include "common/stats.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/partitioner.hpp"
+#include "sparse/vector_ops.hpp"
 
 namespace lck {
 namespace {
@@ -262,19 +263,20 @@ TEST(Samples, Percentiles) {
   EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
 }
 
-TEST(ParallelFor, SumsMatchSerial) {
+TEST(ParallelFor, DeterministicSumsMatchSerial) {
   const index_t n = 100000;
   std::vector<double> xs(n);
   for (index_t i = 0; i < n; ++i) xs[i] = static_cast<double>(i % 97) * 0.25;
-  const double par = parallel_reduce_sum(0, n, [&](index_t i) { return xs[i]; });
+  const double par =
+      detail::deterministic_reduce_sum(n, [&](index_t i) { return xs[i]; });
   double ser = 0.0;
   for (const double x : xs) ser += x;
   EXPECT_NEAR(par, ser, 1e-6);
 }
 
-TEST(ParallelFor, MaxReduction) {
+TEST(ParallelFor, DeterministicMaxReduction) {
   const index_t n = 9999;
-  const double m = parallel_reduce_max(0, n, [&](index_t i) {
+  const double m = detail::deterministic_reduce_max(n, [&](index_t i) {
     return static_cast<double>((i * 37) % 1000);
   });
   EXPECT_DOUBLE_EQ(m, 999.0);
