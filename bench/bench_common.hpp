@@ -5,7 +5,9 @@
 ///        measurement.
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -28,6 +30,82 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("================================================================\n");
 }
 
+/// Strict command-line parsing shared by every bench/example main(). The
+/// historical ad-hoc loops silently dropped malformed input — a trailing
+/// `--json` with no path, a flag value that wasn't a number, a positional
+/// hiding behind an option — so runs proceeded with defaults while
+/// appearing to honour their arguments. These helpers terminate with exit
+/// code 2 (the usage-error convention) instead.
+///
+/// Usage pattern:
+///   CliParser cli(argc, argv, "[method] [--json <path>]");
+///   while (cli.more()) {
+///     if (cli.match("--json")) json = JsonSink(cli.value());
+///     else if (cli.positional()) method = cli.take();
+///     else cli.die_unknown();
+///   }
+class CliParser {
+ public:
+  CliParser(int argc, char** argv, std::string usage)
+      : argc_(argc), argv_(argv), usage_(std::move(usage)) {}
+
+  /// True while unconsumed arguments remain.
+  [[nodiscard]] bool more() const { return i_ < argc_; }
+
+  /// If the current token equals `name`, consume it and return true.
+  bool match(const char* name) {
+    if (!more() || std::string(argv_[i_]) != name) return false;
+    last_flag_ = name;
+    ++i_;
+    return true;
+  }
+
+  /// Mandatory value of the flag just match()ed; dies if it is missing.
+  std::string value() {
+    if (!more()) die(std::string(last_flag_) + " expects a value");
+    return argv_[i_++];
+  }
+
+  /// Strict integer value of the flag just match()ed: the *entire* token
+  /// must be a base-10 integer >= `min` (no trailing junk, no overflow).
+  long number(long min = 0) {
+    const std::string text = value();
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE || v < min)
+      die(std::string(last_flag_) + " expects an integer >= " +
+          std::to_string(min) + ", got \"" + text + "\"");
+    return v;
+  }
+
+  /// True if the current token exists and does not start with '-'.
+  [[nodiscard]] bool positional() const {
+    return more() && argv_[i_][0] != '-';
+  }
+
+  /// Consume and return the current token.
+  std::string take() { return argv_[i_++]; }
+
+  [[noreturn]] void die(const std::string& msg) const {
+    std::fprintf(stderr, "%s\nusage: %s %s\n", msg.c_str(), argv_[0],
+                 usage_.c_str());
+    std::exit(2);
+  }
+
+  /// Reject the current (unrecognised) token.
+  [[noreturn]] void die_unknown() const {
+    die("unknown or incomplete option \"" + std::string(argv_[i_]) + "\"");
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  std::string usage_;
+  const char* last_flag_ = "";
+  int i_ = 1;
+};
+
 /// Machine-readable benchmark output. Every figure/table binary accepts
 /// `--json <path>`; when given, the run's key metrics are written as one
 /// JSON object (scalars plus named tables) so the perf trajectory can be
@@ -38,11 +116,22 @@ class JsonSink {
  public:
   JsonSink() = default;
 
-  /// Parse `--json <path>` out of a main()'s argument list.
+  /// Sink writing to `path` (used by mains that parse their own flags via
+  /// CliParser).
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+
+  /// Strict parse of an argument list whose only supported option is
+  /// `--json <path>`. Anything else — including a trailing `--json` with no
+  /// path, which the old parser silently dropped — is a usage error.
   static JsonSink from_args(int argc, char** argv) {
+    CliParser cli(argc, argv, "[--json <path>]");
     JsonSink sink;
-    for (int i = 1; i + 1 < argc; ++i)
-      if (std::string(argv[i]) == "--json") sink.path_ = argv[i + 1];
+    while (cli.more()) {
+      if (cli.match("--json"))
+        sink.path_ = cli.value();
+      else
+        cli.die_unknown();
+    }
     return sink;
   }
 

@@ -70,6 +70,14 @@ MethodDelta measure_method(const std::string& method, int checkpoints,
   NoneCompressor none;  // traditional scheme: verbatim storage
   auto store_full = std::make_unique<MemoryStore>();
   CheckpointManager mgr_full(std::move(store_full), &none);
+  // The "full" baseline is the traditional *verbatim* full-stream format the
+  // paper's motivation measures. The framed transport (on by default) would
+  // lz4-compress those streams and silently shrink the baseline, so pin the
+  // legacy serializer here; the delta manager is unaffected (DKPT takes
+  // precedence over streaming).
+  StreamingConfig legacy_full;
+  legacy_full.enabled = false;
+  mgr_full.set_streaming(legacy_full);
   auto store_delta = std::make_unique<MemoryStore>();
   auto* store_delta_raw = store_delta.get();
   CheckpointManager mgr_delta(std::move(store_delta), &none);

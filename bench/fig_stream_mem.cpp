@@ -1,0 +1,118 @@
+/// Peak-memory gate for the streaming checkpoint path (the PR-6 bugfix):
+/// the legacy serializer materialized the whole checkpoint stream in RAM
+/// before the store saw a byte, so checkpoint+recover peaked at ~2x the
+/// protected state. The framed streaming path must stay within a small
+/// constant of 1x.
+///
+///   build/bench/fig_stream_mem [--mode streaming|legacy] [--state-mb <n>]
+///                              [--dir <path>] [--json <path>]
+///
+/// One mode per process — peak RSS (getrusage ru_maxrss) is a process-wide
+/// high-water mark, so the two paths cannot be measured in one run. Exit
+/// code enforces the claim for the chosen mode: streaming must keep
+/// peak RSS < 1.3x state, legacy must exceed 1.5x (demonstrating the bug
+/// the gate protects against); a legacy run that stops exceeding it means
+/// the comparison baseline changed and the gate needs re-tuning.
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "ckpt/checkpoint_manager.hpp"
+
+namespace {
+
+double peak_rss_bytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;  // Linux: KiB
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lck;
+  using namespace lck::bench;
+
+  std::string mode = "streaming";
+  long state_mb = 256;
+  std::string dir;
+  JsonSink json;
+  CliParser cli(argc, argv,
+                "[--mode streaming|legacy] [--state-mb <n>] [--dir <path>] "
+                "[--json <path>]");
+  while (cli.more()) {
+    if (cli.match("--mode"))
+      mode = cli.value();
+    else if (cli.match("--state-mb"))
+      state_mb = cli.number(8);
+    else if (cli.match("--dir"))
+      dir = cli.value();
+    else if (cli.match("--json"))
+      json = JsonSink(cli.value());
+    else
+      cli.die_unknown();
+  }
+  if (mode != "streaming" && mode != "legacy")
+    cli.die("--mode expects streaming or legacy, got \"" + mode + "\"");
+  if (dir.empty())
+    dir = (std::filesystem::temp_directory_path() /
+           ("lckpt_stream_mem_" + std::to_string(::getpid())))
+              .string();
+
+  banner("Streaming checkpoint peak memory — " + mode + " serializer",
+         "PR 6 bugfix: bounded-memory framed checkpoint path");
+
+  const std::size_t state_bytes = static_cast<std::size_t>(state_mb) << 20;
+  const std::size_t elems = state_bytes / sizeof(double);
+  Vector x(elems);
+  // Touch every page with non-trivial content so the state is resident and
+  // the raw-fallback path stays honest (smooth data still frames fine).
+  for (std::size_t i = 0; i < elems; ++i)
+    x[i] = static_cast<double>(i % 8191) * 1e-4;
+
+  const double rss_before = peak_rss_bytes();
+  std::filesystem::remove_all(dir);
+  NoneCompressor none;  // traditional scheme: the worst case for peak memory
+  {
+    CheckpointManager mgr(std::make_unique<DiskStore>(dir), &none);
+    StreamingConfig cfg;
+    cfg.enabled = mode == "streaming";
+    mgr.set_streaming(cfg);
+    mgr.protect(0, "x", &x);
+    mgr.checkpoint();
+    for (auto& v : x) v = 0.0;
+    mgr.recover();
+  }
+  std::filesystem::remove_all(dir);
+
+  const double rss_peak = peak_rss_bytes();
+  const double ratio = rss_peak / static_cast<double>(state_bytes);
+  std::printf("state: %ld MiB, peak RSS before ckpt: %.1f MiB, after "
+              "ckpt+recover: %.1f MiB\n",
+              state_mb, rss_before / 1048576.0, rss_peak / 1048576.0);
+  std::printf("peak RSS / state size: %.3f\n", ratio);
+
+  json.text("mode", mode);
+  json.scalar("state_mb", static_cast<double>(state_mb));
+  json.scalar("peak_rss_mb", rss_peak / 1048576.0);
+  json.scalar("rss_ratio", ratio);
+
+  bool ok;
+  if (mode == "streaming") {
+    ok = ratio < 1.3;
+    std::printf("gate: streaming peak RSS must stay < 1.3x state: %s\n",
+                ok ? "PASS" : "FAIL");
+  } else {
+    ok = ratio > 1.5;
+    std::printf("gate: legacy peak RSS must exceed 1.5x state (the bug this "
+                "bench guards against): %s\n",
+                ok ? "PASS" : "FAIL");
+  }
+  json.scalar("gate_ok", ok ? 1.0 : 0.0);
+  json.write();
+  return ok ? 0 : 1;
+}

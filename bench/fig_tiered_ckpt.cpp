@@ -26,8 +26,16 @@ int main(int argc, char** argv) {
   using namespace lck::bench;
 
   std::string method = "cg";
-  if (argc > 1 && argv[1][0] != '-') method = argv[1];
-  JsonSink json = JsonSink::from_args(argc, argv);
+  JsonSink json;
+  CliParser cli(argc, argv, "[method] [--json <path>]");
+  while (cli.more()) {
+    if (cli.match("--json"))
+      json = JsonSink(cli.value());
+    else if (cli.positional())
+      method = cli.take();
+    else
+      cli.die_unknown();
+  }
 
   const PaperMethod pm = paper_method(method);
   banner("Tiered checkpoint hierarchy — " + method +

@@ -12,9 +12,9 @@
 /// overhead relative to the failure-free baseline.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/resilient_runner.hpp"
 #include "sim/perf_model.hpp"
@@ -24,27 +24,18 @@ int main(int argc, char** argv) {
   std::string method = "cg";
   std::string policy = "fixed";
   int delta_chain = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--policy" && i + 1 < argc) {
-      policy = argv[++i];
-    } else if (arg == "--delta" && i + 1 < argc) {
-      char* end = nullptr;
-      delta_chain = static_cast<int>(std::strtol(argv[++i], &end, 10));
-      if (end == argv[i] || *end != '\0' || delta_chain < 0) {
-        std::fprintf(stderr, "--delta expects a non-negative integer, got "
-                             "\"%s\"\n", argv[i]);
-        return 2;
-      }
-    } else if (arg[0] == '-') {
-      std::fprintf(stderr,
-                   "unknown or incomplete option \"%s\"\nusage: %s [method] "
-                   "[--policy fixed|young|adaptive] [--delta <chain-len>]\n",
-                   arg.c_str(), argv[0]);
-      return 2;
-    } else {
-      method = arg;
-    }
+  bench::CliParser cli(
+      argc, argv,
+      "[method] [--policy fixed|young|adaptive] [--delta <chain-len>]");
+  while (cli.more()) {
+    if (cli.match("--policy"))
+      policy = cli.value();
+    else if (cli.match("--delta"))
+      delta_chain = static_cast<int>(cli.number(0));
+    else if (cli.positional())
+      method = cli.take();
+    else
+      cli.die_unknown();
   }
 
   const bool stationary = method == "jacobi";

@@ -1,6 +1,7 @@
 #include "ckpt/checkpoint_manager.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -18,6 +19,20 @@ constexpr std::uint32_t kMagic = 0x54504b43u;  // "CKPT"
 constexpr std::uint16_t kVersion = 1;
 
 enum class VarKind : std::uint8_t { kVector = 0, kBlob = 1 };
+
+/// Per-vector payload layout inside a framed ("FKPT") stream.
+enum class FrameVarLayout : std::uint8_t {
+  kVerbatim = 0,  ///< raw little-endian doubles, no codec framing
+  kChunked = 1,   ///< length-prefixed per-chunk compressor payloads
+};
+
+/// Plausibility cap for one chunk payload inside a framed stream: no
+/// in-tree codec expands beyond ~2x (all have stored fallbacks), so 4x the
+/// raw chunk plus slack can only mean a corrupt length field — reject it
+/// before the allocation, not after.
+constexpr std::size_t frame_chunk_payload_bound(std::size_t elems) noexcept {
+  return elems * sizeof(double) * 4 + (std::size_t{1} << 20);
+}
 
 /// References are resolved purely by content hash, so for lossless codecs
 /// (where decompress ∘ compress is the identity) the re-materialized slice
@@ -174,6 +189,76 @@ CheckpointRecord CheckpointManager::build_stream(
   return rec;
 }
 
+CheckpointRecord CheckpointManager::build_frame_stream(
+    const std::vector<VarView>& vars, int version, ByteSink& sink) const {
+  CheckpointRecord rec;
+  rec.version = version;
+
+  FrameWriter out(sink, streaming_);
+  out.put(kVersion);
+  out.put(static_cast<std::uint32_t>(vars.size()));
+
+  WallTimer timer;
+  for (const auto& var : vars) {
+    out.put(static_cast<std::int32_t>(var.id));
+    out.put_string(*var.name);
+    if (var.vec != nullptr) {
+      out.put(static_cast<std::uint8_t>(VarKind::kVector));
+      const Vector& vec = *var.vec;
+      const Compressor* comp = var.compressor;
+      const bool verbatim =
+          dynamic_cast<const NoneCompressor*>(comp) != nullptr;
+      // Same chunking rule as the legacy block pipeline (same block size,
+      // same size threshold, BlockCompressor used as-is): each chunk's
+      // payload is comp->compress() of exactly the slice the legacy path
+      // would have compressed, so recovered values are bit-identical to a
+      // legacy-serializer round trip. Chunks are compressed sequentially —
+      // at most one chunk payload is in flight, keeping memory bounded.
+      std::size_t chunk_elems = std::max<std::size_t>(vec.size(), 1);
+      if (!verbatim && block_elems_ > 0 && vec.size() > block_elems_ &&
+          dynamic_cast<const BlockCompressor*>(comp) == nullptr)
+        chunk_elems = block_elems_;
+      out.put_string(comp->name());
+      out.put(static_cast<std::uint64_t>(vec.size()));
+      rec.raw_bytes += vec.size() * sizeof(double);
+      if (verbatim) {
+        // Raw doubles straight into the frames; the frame style (e.g.
+        // lz4) is the only compression layer, and the per-frame CRC the
+        // only integrity layer — no codec header, no payload allocation.
+        out.put(static_cast<std::uint8_t>(FrameVarLayout::kVerbatim));
+        const std::span<const byte_t> raw{
+            reinterpret_cast<const byte_t*>(vec.data()),
+            vec.size() * sizeof(double)};
+        out.put_bytes(raw);
+        rec.per_var_bytes[*var.name] = raw.size();
+      } else {
+        out.put(static_cast<std::uint8_t>(FrameVarLayout::kChunked));
+        const ChunkGeometry geo(vec.size(), chunk_elems);
+        out.put(static_cast<std::uint64_t>(geo.chunk_elems));
+        std::size_t var_bytes = 0;
+        for (std::size_t c = 0; c < geo.count(); ++c) {
+          const auto payload =
+              comp->compress({vec.data() + geo.begin(c), geo.length(c)});
+          out.put(static_cast<std::uint64_t>(payload.size()));
+          out.put_bytes(payload);
+          var_bytes += payload.size();
+        }
+        rec.per_var_bytes[*var.name] = var_bytes;
+      }
+    } else {
+      out.put(static_cast<std::uint8_t>(VarKind::kBlob));
+      out.put(static_cast<std::uint64_t>(var.blob->size()));
+      out.put_bytes(*var.blob);
+      rec.raw_bytes += var.blob->size();
+      rec.per_var_bytes[*var.name] = var.blob->size();
+    }
+  }
+  out.finish();
+  rec.compress_seconds = timer.seconds();
+  rec.stored_bytes = out.stream_bytes();
+  return rec;
+}
+
 CheckpointRecord CheckpointManager::build_delta_stream(
     const std::vector<VarView>& vars, int version,
     const ChunkBaseState* base, std::vector<byte_t>& bytes,
@@ -325,6 +410,14 @@ CheckpointRecord CheckpointManager::checkpoint() {
     store_->write(rec.version, bytes);
     base_of_[rec.version] = rec.base_version;
     committed_state_ = std::move(state);
+  } else if (streaming_.enabled) {
+    // Stream frames straight into the store's staging sink and promote on
+    // success — the synchronous fusion of write_pending + commit, with
+    // peak memory bounded by the frame writer, not the checkpoint size.
+    auto sink = store_->open_write_pending(next_version_);
+    rec = build_frame_stream(views, next_version_, *sink);
+    sink->finish();
+    store_->commit(rec.version);
   } else {
     rec = build_stream(views, next_version_, bytes);
     store_->write(rec.version, bytes);
@@ -402,10 +495,12 @@ StageTicket CheckpointManager::stage() {
   // drain never touches the (owner-mutated) bookkeeping: it encodes against
   // an immutable snapshot of the base's hashes.
   const bool delta = max_delta_chain_ > 0;
+  const bool streaming = !delta && streaming_.enabled;
   std::shared_ptr<const ChunkBaseState> base;
   if (delta) base = pick_delta_base();
-  auto drain = [this, version, slot_idx, delta, base] {
+  auto drain = [this, version, slot_idx, delta, streaming, base] {
     std::vector<byte_t> bytes;
+    std::unique_ptr<ByteSink> sink;
     CheckpointRecord rec;
     try {
       const StagingSlot& slot_ref =
@@ -428,18 +523,30 @@ StageTicket CheckpointManager::stage() {
         rec = build_delta_stream(views, version, base.get(), bytes, state);
         const std::lock_guard<std::mutex> lock(slot_mu_);
         drained_states_[version] = std::move(state);
+      } else if (streaming) {
+        // Frames flow into the store sink while the slot is still held —
+        // that is the point: the stream is never materialized, so the
+        // slot's staged copy is the only full-size buffer alive.
+        sink = store_->open_write_pending(version);
+        rec = build_frame_stream(views, version, *sink);
       } else {
         rec = build_stream(views, version, bytes);
       }
     } catch (...) {
       // A throwing compressor must not strand the slot as busy forever.
+      // (A part-written streaming sink cleans up in its destructor.)
       release_slot(slot_idx);
       throw;
     }
     // The stream owns the data now; free the slot before the (slow) store
-    // write so the solver can stage the next checkpoint meanwhile.
+    // write so the solver can stage the next checkpoint meanwhile. The
+    // streaming sink already holds every byte, so sealing it does not need
+    // the slot either.
     release_slot(slot_idx);
-    store_->write_pending(version, bytes);
+    if (sink != nullptr)
+      sink->finish();
+    else
+      store_->write_pending(version, bytes);
     return rec;
   };
   // Track the version before enqueueing so a failed submit can unwind
@@ -535,10 +642,25 @@ void CheckpointManager::discard_version(int version) {
 CheckpointRecord CheckpointManager::recover() {
   const int version = store_->latest_version();
   if (version < 0) throw corrupt_stream_error("recover: no checkpoint exists");
-  const auto data = store_->read(version);
 
-  // Streams are self-describing: chunked delta checkpoints carry their own
-  // magic, so recovery works whatever the writing configuration was.
+  // Streams are self-describing; peek the magic to dispatch. Framed
+  // streams restore incrementally through the source (bounded memory);
+  // the legacy and delta formats are parsed in memory, so the remainder
+  // of the blob is materialized for them.
+  auto src = store_->open_read(version);
+  byte_t magic_buf[4];
+  const std::size_t magic_got = read_fully(*src, magic_buf);
+  std::uint32_t magic = 0;
+  if (magic_got == 4) std::memcpy(&magic, magic_buf, 4);
+  if (magic == kFrameStreamMagic) return recover_frame_stream(version, *src);
+
+  std::vector<byte_t> data(magic_buf, magic_buf + magic_got);
+  {
+    const auto rest = read_all(*src);
+    data.insert(data.end(), rest.begin(), rest.end());
+  }
+  src.reset();
+
   if (is_delta_stream(data)) return recover_delta(version, data);
 
   CheckpointRecord rec;
@@ -600,6 +722,91 @@ CheckpointRecord CheckpointManager::recover() {
   return rec;
 }
 
+CheckpointRecord CheckpointManager::recover_frame_stream(int version,
+                                                         ByteSource& src) {
+  CheckpointRecord rec;
+  rec.version = version;
+
+  FrameReader in(src, /*magic_already_consumed=*/true);
+  if (in.get<std::uint16_t>() != kVersion)
+    throw corrupt_stream_error("recover: unsupported format version");
+  const auto count = in.get<std::uint32_t>();
+
+  WallTimer timer;
+  std::vector<byte_t> payload;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto id = in.get<std::int32_t>();
+    const std::string name = in.get_string();
+    const auto kind = static_cast<VarKind>(in.get<std::uint8_t>());
+
+    const auto it = entries_.find(id);
+    if (it == entries_.end())
+      throw corrupt_stream_error("recover: unregistered variable id " +
+                                 std::to_string(id));
+    Entry& e = it->second;
+    if (kind == VarKind::kVector) {
+      require(e.dst != nullptr, "recover: kind mismatch (expected vector)");
+      const std::string comp_name = in.get_string();
+      const auto elem_count = in.get<std::uint64_t>();
+      const auto layout = static_cast<FrameVarLayout>(in.get<std::uint8_t>());
+      if (elem_count > (std::uint64_t{1} << 48))
+        throw corrupt_stream_error("recover: implausible element count");
+      const Compressor* comp = compressor_for(e);
+      // Framed streams store the effective per-chunk codec name (never a
+      // synthesized "block+" wrapper — chunking replaces the pipeline).
+      if (comp->name() != comp_name)
+        throw corrupt_stream_error(
+            "recover: compressor mismatch for variable " + name + " (stored " +
+            comp_name + ", registered " + comp->name() + ")");
+      e.dst->resize(elem_count);
+      rec.raw_bytes += elem_count * sizeof(double);
+      if (layout == FrameVarLayout::kVerbatim) {
+        in.read_into({reinterpret_cast<byte_t*>(e.dst->data()),
+                      static_cast<std::size_t>(elem_count) * sizeof(double)});
+        rec.per_var_bytes[name] = elem_count * sizeof(double);
+      } else if (layout == FrameVarLayout::kChunked) {
+        const auto chunk_elems = in.get<std::uint64_t>();
+        if (chunk_elems == 0 ||
+            chunk_elems > std::max<std::uint64_t>(elem_count, 1))
+          throw corrupt_stream_error("recover: implausible chunk size");
+        const ChunkGeometry geo(static_cast<std::size_t>(elem_count),
+                                static_cast<std::size_t>(chunk_elems));
+        std::size_t var_bytes = 0;
+        for (std::size_t c = 0; c < geo.count(); ++c) {
+          const std::size_t len = geo.length(c);
+          const auto payload_size = in.get<std::uint64_t>();
+          if (payload_size > frame_chunk_payload_bound(len))
+            throw corrupt_stream_error(
+                "recover: implausible chunk payload size");
+          payload.resize(static_cast<std::size_t>(payload_size));
+          in.read_into(payload);
+          comp->decompress(payload, {e.dst->data() + geo.begin(c), len});
+          var_bytes += payload.size();
+        }
+        rec.per_var_bytes[name] = var_bytes;
+      } else {
+        throw corrupt_stream_error("recover: unknown vector layout");
+      }
+    } else if (kind == VarKind::kBlob) {
+      require(e.blob != nullptr, "recover: kind mismatch (expected blob)");
+      const auto size = in.get<std::uint64_t>();
+      if (size > (std::uint64_t{1} << 40))
+        throw corrupt_stream_error("recover: implausible blob size");
+      e.blob->resize(static_cast<std::size_t>(size));
+      in.read_into(*e.blob);
+      rec.raw_bytes += e.blob->size();
+      rec.per_var_bytes[name] = e.blob->size();
+    } else {
+      throw corrupt_stream_error("recover: unknown variable kind");
+    }
+  }
+  in.expect_end();
+  rec.stored_bytes = in.stream_bytes() + 4;  // + the magic recover() peeked
+  rec.compress_seconds = timer.seconds();
+  recovery_pending_ = false;
+  return rec;
+}
+
 CheckpointRecord CheckpointManager::recover_delta(
     int version, const std::vector<byte_t>& data) {
   CheckpointRecord rec;
@@ -650,13 +857,11 @@ CheckpointRecord CheckpointManager::recover_delta(
     // chain walk below.
     std::unordered_map<std::uint64_t, std::span<const byte_t>> own_literals;
     std::size_t var_stored = 0;
-    const auto chunk_elems = static_cast<std::size_t>(var.chunk_elems);
+    const ChunkGeometry geo(static_cast<std::size_t>(var.elem_count),
+                            static_cast<std::size_t>(var.chunk_elems));
     for (std::size_t c = 0; c < var.chunks.size(); ++c) {
-      const std::size_t begin = c * chunk_elems;
-      const std::size_t len =
-          std::min(chunk_elems, static_cast<std::size_t>(var.elem_count) -
-                                    begin);
-      const std::span<double> slice{e.dst->data() + begin, len};
+      const std::span<double> slice{e.dst->data() + geo.begin(c),
+                                    geo.length(c)};
       const ParsedChunk& chunk = var.chunks[c];
       if (chunk.tag == ChunkTag::kLiteral) {
         comp->decompress(chunk.payload, slice);

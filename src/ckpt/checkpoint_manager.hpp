@@ -31,6 +31,7 @@
 #include "ckpt/checkpoint_record.hpp"
 #include "ckpt/checkpoint_store.hpp"
 #include "ckpt/chunk/chunk_codec.hpp"
+#include "ckpt/frame_stream.hpp"
 #include "compress/block_compressor.hpp"
 #include "compress/compressor.hpp"
 #include "sparse/vector_ops.hpp"
@@ -193,6 +194,23 @@ class CheckpointManager {
     return delta_chunk_elems_;
   }
 
+  /// Configure the streaming framed serializer (see frame_stream.hpp).
+  /// Enabled by default: non-delta checkpoints are produced frame-by-frame
+  /// through a store sink with bounded writer memory, and recovered
+  /// incrementally the same way. Disabling falls back to the legacy
+  /// whole-stream serializer ("CKPT" magic). Delta mode (set_delta > 0)
+  /// takes precedence: delta streams keep their own chunked "DKPT" format.
+  /// Recovery always dispatches on the stored magic, so any mode can read
+  /// checkpoints written by any other. Must not change while a drain is in
+  /// flight.
+  void set_streaming(const StreamingConfig& cfg) {
+    cfg.validate();
+    streaming_ = cfg;
+  }
+  [[nodiscard]] const StreamingConfig& streaming() const noexcept {
+    return streaming_;
+  }
+
   [[nodiscard]] const CheckpointStore& store() const { return *store_; }
 
  private:
@@ -241,6 +259,19 @@ class CheckpointManager {
   CheckpointRecord build_stream(const std::vector<VarView>& vars, int version,
                                 std::vector<byte_t>& bytes) const;
 
+  /// Serialize one snapshot as a framed stream straight into `sink` with
+  /// bounded memory (see frame_stream.hpp). Chunks each vector by the same
+  /// rule as the legacy block pipeline, so recovered values are bit-exact
+  /// against the legacy serializer for every codec. Calls FrameWriter's
+  /// finish() but NOT sink.finish() — sealing the sink is the caller's job
+  /// (the async drain seals only after releasing its staging slot).
+  CheckpointRecord build_frame_stream(const std::vector<VarView>& vars,
+                                      int version, ByteSink& sink) const;
+
+  /// Incremental frame-by-frame recovery of a framed stream; `src` is
+  /// positioned just past the 4-byte magic recover() peeked for dispatch.
+  CheckpointRecord recover_frame_stream(int version, ByteSource& src);
+
   /// Serialize one snapshot as a chunked delta stream against `base`
   /// (nullptr ⇒ full chunked checkpoint). Fills `out_state` with the
   /// hashes a successor delta needs. Same sync/async sharing contract as
@@ -277,6 +308,7 @@ class CheckpointManager {
   int retention_ = 1;
   int prune_floor_ = 0;  ///< Versions below this are already pruned.
   std::size_t block_elems_ = BlockCompressor::kDefaultBlockElems;
+  StreamingConfig streaming_{};  ///< Framed serializer knobs (default on).
   bool recovery_pending_ = false;
 
   // Delta (chunked) checkpointing state. All owner-thread, except

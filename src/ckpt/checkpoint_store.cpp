@@ -40,6 +40,36 @@ bool CheckpointStore::has_pending(int version) const {
   return pending_.contains(version);
 }
 
+namespace {
+
+/// Default streaming sink: accumulate in memory, hand the blob to the
+/// store's (virtual) write_pending on finish. Correct for every backend;
+/// bounded-memory only for backends that override open_write_pending.
+class BufferedPendingSink final : public ByteSink {
+ public:
+  BufferedPendingSink(CheckpointStore& store, int version)
+      : store_(store), version_(version) {}
+  void append(std::span<const byte_t> bytes) override {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  void finish() override { store_.write_pending(version_, buf_); }
+
+ private:
+  CheckpointStore& store_;
+  int version_;
+  std::vector<byte_t> buf_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteSink> CheckpointStore::open_write_pending(int version) {
+  return std::make_unique<BufferedPendingSink>(*this, version);
+}
+
+std::unique_ptr<ByteSource> CheckpointStore::open_read(int version) const {
+  return std::make_unique<OwningSource>(read(version));
+}
+
 // ----- MemoryStore ----------------------------------------------------------
 
 void MemoryStore::write(int version, std::span<const byte_t> data) {
@@ -151,6 +181,84 @@ void DiskStore::abort(int version) {
 
 bool DiskStore::has_pending(int version) const {
   return fs::exists(pending_path_for(version));
+}
+
+namespace {
+
+/// Streams frames to `<pending>.tmp`; finish() flushes and renames to the
+/// .pending path, so has_pending() only ever sees complete blobs. A sink
+/// destroyed without finish() removes its temporary (crashed drain).
+class DiskPendingSink final : public ByteSink {
+ public:
+  DiskPendingSink(std::string tmp_path, std::string pending_path)
+      : tmp_path_(std::move(tmp_path)),
+        pending_path_(std::move(pending_path)),
+        f_(tmp_path_, std::ios::binary | std::ios::trunc) {
+    if (!f_)
+      throw corrupt_stream_error("disk store: cannot open " + tmp_path_);
+  }
+
+  ~DiskPendingSink() override {
+    if (!finished_) {
+      f_.close();
+      std::error_code ec;
+      fs::remove(tmp_path_, ec);
+    }
+  }
+
+  void append(std::span<const byte_t> bytes) override {
+    f_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!f_)
+      throw corrupt_stream_error("disk store: short write " + tmp_path_);
+  }
+
+  void finish() override {
+    f_.close();
+    if (f_.fail())
+      throw corrupt_stream_error("disk store: close failed " + tmp_path_);
+    fs::rename(tmp_path_, pending_path_);
+    finished_ = true;
+  }
+
+ private:
+  std::string tmp_path_;
+  std::string pending_path_;
+  std::ofstream f_;
+  bool finished_ = false;
+};
+
+/// Incremental read of a committed checkpoint file.
+class DiskSource final : public ByteSource {
+ public:
+  explicit DiskSource(const std::string& path)
+      : f_(path, std::ios::binary) {
+    if (!f_) throw corrupt_stream_error("disk store: cannot open " + path);
+  }
+
+  [[nodiscard]] std::size_t read_some(std::span<byte_t> dst) override {
+    f_.read(reinterpret_cast<char*>(dst.data()),
+            static_cast<std::streamsize>(dst.size()));
+    return static_cast<std::size_t>(f_.gcount());
+  }
+
+ private:
+  std::ifstream f_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteSink> DiskStore::open_write_pending(int version) {
+  const std::string pending = pending_path_for(version);
+  return std::make_unique<DiskPendingSink>(pending + ".tmp", pending);
+}
+
+std::unique_ptr<ByteSource> DiskStore::open_read(int version) const {
+  const std::string path = path_for(version);
+  if (!fs::exists(path))
+    throw corrupt_stream_error("disk store: no checkpoint version " +
+                               std::to_string(version));
+  return std::make_unique<DiskSource>(path);
 }
 
 }  // namespace lck

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/byte_stream.hpp"
 #include "common/types.hpp"
 
 namespace lck {
@@ -50,6 +51,19 @@ class CheckpointStore {
   /// Drop a pending version (failure mid-drain). No-op if absent.
   virtual void abort(int version);
   [[nodiscard]] virtual bool has_pending(int version) const;
+
+  /// Open an incremental sink that stages `version` — the streaming
+  /// equivalent of write_pending(). The sink's finish() seals the pending
+  /// blob; commit()/abort() then apply as usual. The default buffers in
+  /// memory and delegates to write_pending() on finish, so every backend
+  /// works unchanged; backends with real incremental I/O (DiskStore)
+  /// override it to keep writer memory bounded.
+  [[nodiscard]] virtual std::unique_ptr<ByteSink> open_write_pending(
+      int version);
+  /// Open an incremental source over the committed blob for `version`.
+  /// Default materializes read(); DiskStore overrides with file streaming.
+  [[nodiscard]] virtual std::unique_ptr<ByteSource> open_read(
+      int version) const;
 
  private:
   mutable std::mutex pending_mu_;
@@ -90,6 +104,15 @@ class DiskStore final : public CheckpointStore {
   void commit(int version) override;
   void abort(int version) override;
   [[nodiscard]] bool has_pending(int version) const override;
+
+  /// True file streaming: frames land on disk as they are produced, so a
+  /// checkpoint larger than RAM never exists in memory at once. The sink
+  /// writes `<pending>.tmp` and renames to `.pending` on finish(), keeping
+  /// the invariant that a .pending file is always complete.
+  [[nodiscard]] std::unique_ptr<ByteSink> open_write_pending(
+      int version) override;
+  [[nodiscard]] std::unique_ptr<ByteSource> open_read(
+      int version) const override;
 
  private:
   [[nodiscard]] std::string path_for(int version) const;

@@ -30,18 +30,17 @@ ChunkEncodeStats encode_chunked_vector(
     std::vector<std::uint64_t>& out_hashes) {
   require(chunk_elems >= 1, "chunk codec: chunk_elems must be >= 1");
   const std::size_t n = vec.size();
-  const std::size_t chunks =
-      n == 0 ? 0 : (n + chunk_elems - 1) / chunk_elems;
+  const ChunkGeometry geo(n, chunk_elems);
+  const std::size_t chunks = geo.count();
 
   // Hash every chunk's raw bytes concurrently; the hash list is a pure
   // function of the data, so sync and async drains agree bit-for-bit.
   std::vector<std::uint64_t> hashes(chunks);
   parallel_for(0, static_cast<index_t>(chunks), [&](index_t c) {
-    const std::size_t begin = static_cast<std::size_t>(c) * chunk_elems;
-    const std::size_t len = std::min(chunk_elems, n - begin);
-    hashes[static_cast<std::size_t>(c)] = crc64(
-        {reinterpret_cast<const byte_t*>(vec.data() + begin),
-         len * sizeof(double)});
+    const auto i = static_cast<std::size_t>(c);
+    hashes[i] = crc64(
+        {reinterpret_cast<const byte_t*>(vec.data() + geo.begin(i)),
+         geo.length(i) * sizeof(double)});
   });
 
   // Literal/ref decision in manifest order: a chunk references the base
@@ -64,9 +63,7 @@ ChunkEncodeStats encode_chunked_vector(
   parallel_for(0, static_cast<index_t>(chunks), [&](index_t c) {
     const auto i = static_cast<std::size_t>(c);
     if (is_ref[i]) return;
-    const std::size_t begin = i * chunk_elems;
-    const std::size_t len = std::min(chunk_elems, n - begin);
-    payloads[i] = comp.compress(vec.subspan(begin, len));
+    payloads[i] = comp.compress(vec.subspan(geo.begin(i), geo.length(i)));
   });
 
   ChunkEncodeStats stats;
@@ -119,15 +116,10 @@ ParsedDeltaStream parse_delta_stream(std::span<const byte_t> stream) {
       // target with it: an inconsistent elem_count/chunk_elems/chunk_count
       // triple would otherwise underflow the tail-length arithmetic and
       // write out of bounds.
-      const std::uint64_t expected_chunks =
-          var.elem_count == 0
-              ? 0
-              : (var.chunk_elems == 0
-                     ? 0
-                     : (var.elem_count + var.chunk_elems - 1) /
-                           var.chunk_elems);
+      const ChunkGeometry geo(static_cast<std::size_t>(var.elem_count),
+                              static_cast<std::size_t>(var.chunk_elems));
       if ((var.elem_count > 0 && var.chunk_elems == 0) ||
-          chunk_count != expected_chunks)
+          chunk_count != geo.count())
         throw corrupt_stream_error(
             "delta stream: inconsistent chunk geometry for variable " +
             var.name);

@@ -43,6 +43,28 @@ inline constexpr std::uint16_t kDeltaFormatVersion = 1;
 enum class ChunkTag : std::uint8_t { kLiteral = 0, kRef = 1 };
 enum class DeltaVarKind : std::uint8_t { kVector = 0, kBlob = 1 };
 
+/// Shared fixed-size slicing arithmetic: how a vector of `elems` doubles
+/// splits into chunks of `chunk_elems`. The delta chunk codec and the
+/// streaming frame serializer (ckpt/frame_stream.hpp) both slice with this,
+/// so the two payload layers agree on boundaries by construction.
+struct ChunkGeometry {
+  std::size_t elems = 0;
+  std::size_t chunk_elems = 1;
+
+  constexpr ChunkGeometry(std::size_t n, std::size_t chunk) noexcept
+      : elems(n), chunk_elems(chunk == 0 ? 1 : chunk) {}
+
+  [[nodiscard]] constexpr std::size_t count() const noexcept {
+    return elems == 0 ? 0 : (elems + chunk_elems - 1) / chunk_elems;
+  }
+  [[nodiscard]] constexpr std::size_t begin(std::size_t c) const noexcept {
+    return c * chunk_elems;
+  }
+  [[nodiscard]] constexpr std::size_t length(std::size_t c) const noexcept {
+    return elems - begin(c) < chunk_elems ? elems - begin(c) : chunk_elems;
+  }
+};
+
 /// True iff `stream` starts with the delta-format magic.
 [[nodiscard]] bool is_delta_stream(std::span<const byte_t> stream) noexcept;
 

@@ -1,0 +1,183 @@
+#pragma once
+/// \file frame_stream.hpp
+/// \brief Bounded-memory framed checkpoint transport.
+///
+/// FrameWriter chops a logical byte stream into fixed-size frames
+/// (default 1 MiB raw), compresses each frame independently with a fast
+/// lossless style, and pushes the result through a small coalescing write
+/// buffer straight into a store-provided ByteSink. Peak writer memory is
+/// one raw frame + its compressed image + the write buffer — independent
+/// of checkpoint size, unlike the legacy serializer that materialized the
+/// whole stream (~2x state size) before the store saw a byte.
+///
+/// FrameReader is the inverse: it restores the logical stream
+/// frame-by-frame, so recovery is bounded too. Every frame carries
+/// {style, raw_len, comp_len, CRC-32}; truncation and corruption are
+/// detected per-frame, and a mandatory all-zero terminator frame
+/// distinguishes clean end-of-stream from a truncated tail.
+///
+/// On-wire layout (all integers little-endian):
+///
+///   stream  := magic:u32("FKPT") version:u16 style:u8 frame_raw_max:u32
+///              frame* terminator
+///   frame   := style:u8 raw_len:u32 comp_len:u32 crc32:u32
+///              payload[comp_len]
+///   terminator := 13 zero bytes (style=0, raw_len=0, comp_len=0, crc=0)
+///
+/// Frame styles follow the fd_checkpt convention: 1 = raw, 2 = LZ4-like,
+/// 3 = deflate-like. Compressed styles fall back to raw per frame whenever
+/// compression does not win, so comp_len < raw_len always holds for
+/// styles 2/3 — the reader enforces it as a cheap corruption bound.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/byte_stream.hpp"
+#include "common/types.hpp"
+
+namespace lck {
+
+/// Magic prefix of framed checkpoint streams ("FKPT", little-endian).
+inline constexpr std::uint32_t kFrameStreamMagic = 0x54504b46u;
+inline constexpr std::uint16_t kFrameStreamVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 13;
+/// Hard upper bound on raw frame size accepted by the reader (defense
+/// against corrupt headers demanding huge allocations).
+inline constexpr std::size_t kMaxFrameRawBytes = std::size_t{1} << 28;
+/// Strings inside checkpoint streams are variable names; cap them so a
+/// corrupt length prefix cannot demand a multi-GiB allocation.
+inline constexpr std::size_t kMaxStreamStringBytes = std::size_t{1} << 20;
+
+/// Per-frame compression style (numbering follows fd_checkpt: RAW=1, LZ4=2).
+enum class FrameStyle : std::uint8_t {
+  kRaw = 1,      ///< verbatim payload
+  kLz4 = 2,      ///< LZ4-class fast byte compressor
+  kDeflate = 3,  ///< deflate-like LZ77+Huffman (slow, higher ratio)
+};
+
+/// Map a config-facing style name ("raw", "lz4", "deflate") to its enum.
+/// Throws config_error on unknown names.
+[[nodiscard]] FrameStyle frame_style_from_name(const std::string& name);
+[[nodiscard]] const char* frame_style_name(FrameStyle style) noexcept;
+
+/// Knobs for the streaming checkpoint path.
+struct StreamingConfig {
+  /// Use the framed bounded-memory serializer for non-delta checkpoints.
+  /// Disabled, the legacy whole-stream serializer ("CKPT" magic) is used.
+  bool enabled = true;
+  /// Raw frame granularity, in double-precision elements (x8 = bytes).
+  std::size_t frame_elems = std::size_t{128} * 1024;  // 1 MiB raw frames
+  /// Coalescing write-buffer size handed to the store sink, in bytes.
+  std::size_t wbuf_bytes = std::size_t{256} * 1024;
+  /// Frame compression style: "raw", "lz4", or "deflate".
+  std::string style = "lz4";
+
+  /// Raw frame size in bytes.
+  [[nodiscard]] std::size_t frame_bytes() const noexcept {
+    return frame_elems * sizeof(double);
+  }
+
+  /// Throws config_error naming every violated constraint.
+  void validate() const;
+};
+
+/// Streams a logical byte sequence into `sink` as compressed frames.
+/// Call finish() exactly once after the last put; the destructor does not
+/// write the terminator (an abandoned writer leaves a detectably-truncated
+/// stream, which is the correct crash semantic).
+class FrameWriter {
+ public:
+  FrameWriter(ByteSink& sink, const StreamingConfig& cfg);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    put_bytes({reinterpret_cast<const byte_t*>(&v), sizeof(T)});
+  }
+
+  /// Length-prefixed string (u32 length + bytes), mirroring ByteWriter.
+  void put_string(const std::string& s);
+
+  /// Append raw bytes, flushing full frames as they fill.
+  void put_bytes(std::span<const byte_t> bytes);
+
+  /// Flush the partial frame, write the terminator, drain the write
+  /// buffer. The writer is unusable afterwards. Does NOT call
+  /// sink.finish() — sealing the sink is the caller's job.
+  void finish();
+
+  /// Total bytes emitted to the sink so far (the final stream size once
+  /// finish() has run).
+  [[nodiscard]] std::size_t stream_bytes() const noexcept { return total_; }
+
+  /// High-water mark of bytes buffered inside the writer — raw frame +
+  /// compressed image + write buffer + header. Tests assert this stays
+  /// under wbuf_bytes + one frame (+ compression bound slack).
+  [[nodiscard]] std::size_t peak_buffered_bytes() const noexcept {
+    return peak_;
+  }
+
+ private:
+  void flush_frame();
+  void emit(std::span<const byte_t> bytes);
+  void flush_wbuf();
+
+  ByteSink& sink_;
+  FrameStyle style_;
+  std::size_t frame_bytes_;
+  std::size_t wbuf_limit_;
+  std::vector<byte_t> raw_;   // current frame under construction
+  std::vector<byte_t> comp_;  // per-frame compression scratch
+  std::vector<byte_t> wbuf_;  // coalescing buffer in front of the sink
+  std::size_t total_ = 0;
+  std::size_t peak_ = 0;
+  bool finished_ = false;
+};
+
+/// Restores the logical byte sequence from a framed stream, one frame at a
+/// time. Throws corrupt_stream_error on any malformed, truncated, or
+/// CRC-failing frame.
+class FrameReader {
+ public:
+  /// `magic_already_consumed`: pass true when the caller peeked the 4-byte
+  /// magic off `src` to dispatch between stream formats (the manager does).
+  explicit FrameReader(ByteSource& src, bool magic_already_consumed = false);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T v;
+    read_into({reinterpret_cast<byte_t*>(&v), sizeof(T)});
+    return v;
+  }
+
+  std::string get_string();
+
+  /// Fill `out` completely from the logical stream.
+  void read_into(std::span<byte_t> out);
+
+  /// Assert a clean end: terminator frame present and the source is
+  /// exhausted. Throws corrupt_stream_error on truncation, a corrupted
+  /// terminator, or trailing garbage.
+  void expect_end();
+
+  /// Compressed bytes consumed from the source (excludes a peeked magic).
+  [[nodiscard]] std::size_t stream_bytes() const noexcept { return total_; }
+
+ private:
+  void next_frame();
+  void read_exact(std::span<byte_t> dst, const char* what);
+
+  ByteSource& src_;
+  std::size_t frame_raw_max_ = 0;
+  std::vector<byte_t> comp_;  // compressed frame scratch
+  std::vector<byte_t> raw_;   // decoded current frame
+  std::size_t rpos_ = 0;
+  std::size_t total_ = 0;
+  bool at_end_ = false;
+};
+
+}  // namespace lck

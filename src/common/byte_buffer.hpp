@@ -7,6 +7,7 @@
 /// and by the checkpoint file format.
 
 #include <cstring>
+#include <limits>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -49,6 +50,10 @@ class ByteWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put_array(const T* data, std::size_t count) {
+    // `count * sizeof(T)` must not wrap: a wrapped product would resize the
+    // buffer to a tiny size and silently emit a stream that decodes short.
+    if (count > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw config_error("put_array: element count overflows byte size");
     const std::size_t old = buf_.size();
     buf_.resize(old + count * sizeof(T));
     if (count > 0) std::memcpy(buf_.data() + old, data, count * sizeof(T));
@@ -81,6 +86,8 @@ class ByteReader {
   }
 
   std::string get_string() {
+    // `n` is a u32 checked directly against the remaining bytes — no
+    // multiply, so no wrap hazard here (audited alongside get_array).
     const auto n = get<std::uint32_t>();
     check(n);
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
@@ -93,7 +100,11 @@ class ByteReader {
     requires std::is_trivially_copyable_v<T>
   void get_array(T* out, std::size_t count) {
     if (count == 0) return;  // memcpy with null out/src is UB even for 0
-    check(count * sizeof(T));
+    // Divide instead of multiplying: `count * sizeof(T)` wraps for a
+    // corrupt huge `count`, and the wrapped product would pass check()
+    // and drive memcpy with the un-wrapped (huge) length.
+    if (count > remaining() / sizeof(T))
+      throw corrupt_stream_error("array length exceeds remaining bytes");
     std::memcpy(out, data_.data() + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
   }

@@ -43,6 +43,8 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name,
   if (name == "deflate") return std::make_unique<DeflateCompressor>(false);
   if (name == "shuffle-deflate")
     return std::make_unique<DeflateCompressor>(true);
+  if (name == "lz4") return std::make_unique<Lz4Compressor>(false);
+  if (name == "shuffle-lz4") return std::make_unique<Lz4Compressor>(true);
   if (name == "sz") return std::make_unique<SzLikeCompressor>(eb);
   if (name == "zfp") {
     if (eb.mode == ErrorBound::Mode::kPointwiseRelative)

@@ -5,6 +5,7 @@
 #include "common/byte_buffer.hpp"
 #include "compress/lossless/byte_codecs.hpp"
 #include "compress/lossless/deflate_like.hpp"
+#include "compress/lossless/lz4_like.hpp"
 
 namespace lck {
 namespace {
@@ -23,6 +24,7 @@ void bytes_to_doubles(std::span<const byte_t> bytes, std::span<double> out) {
 constexpr std::uint32_t kMagicRle = 0x31454c52u;      // "RLE1"
 constexpr std::uint32_t kMagicDeflate = 0x31464544u;  // "DEF1"
 constexpr std::uint32_t kMagicShufRle = 0x31525353u;  // "SSR1"
+constexpr std::uint32_t kMagicLz4 = 0x315a344cu;      // "L4Z1"
 
 }  // namespace
 
@@ -79,6 +81,37 @@ void DeflateCompressor::decompress(std::span<const byte_t> stream,
   const auto enc_size = in.get<std::uint64_t>();
   auto decoded =
       deflate_decompress(in.get_bytes(enc_size), n * sizeof(double));
+  if (shuffled) decoded = unshuffle_bytes(decoded, sizeof(double));
+  bytes_to_doubles(decoded, out);
+}
+
+std::vector<byte_t> Lz4Compressor::compress(std::span<const double> data) const {
+  ByteWriter out;
+  out.put(kMagicLz4);
+  out.put(static_cast<std::uint64_t>(data.size()));
+  out.put(static_cast<std::uint8_t>(shuffle_ ? 1 : 0));
+  std::vector<byte_t> staged;
+  std::span<const byte_t> input = as_bytes(data);
+  if (shuffle_) {
+    staged = shuffle_bytes(input, sizeof(double));
+    input = staged;
+  }
+  const auto enc = lz4_compress(input);
+  out.put(static_cast<std::uint64_t>(enc.size()));
+  out.put_bytes(enc);
+  return std::move(out).take();
+}
+
+void Lz4Compressor::decompress(std::span<const byte_t> stream,
+                               std::span<double> out) const {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagicLz4)
+    throw corrupt_stream_error("lz4: bad magic");
+  const auto n = in.get<std::uint64_t>();
+  if (n != out.size()) throw corrupt_stream_error("lz4: size mismatch");
+  const bool shuffled = in.get<std::uint8_t>() != 0;
+  const auto enc_size = in.get<std::uint64_t>();
+  auto decoded = lz4_decompress(in.get_bytes(enc_size), n * sizeof(double));
   if (shuffled) decoded = unshuffle_bytes(decoded, sizeof(double));
   bytes_to_doubles(decoded, out);
 }

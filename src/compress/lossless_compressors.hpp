@@ -36,6 +36,25 @@ class DeflateCompressor final : public Compressor {
   bool shuffle_;
 };
 
+/// LZ4-class fast LZ77 on the raw double array — byte-aligned tokens, no
+/// entropy stage, an order of magnitude faster than the deflate-like codec
+/// at a lower ratio. Also available as the "lz4" streaming frame style.
+class Lz4Compressor final : public Compressor {
+ public:
+  explicit Lz4Compressor(bool shuffle = false) : shuffle_(shuffle) {}
+  [[nodiscard]] std::string name() const override {
+    return shuffle_ ? "shuffle-lz4" : "lz4";
+  }
+  [[nodiscard]] bool lossy() const noexcept override { return false; }
+  [[nodiscard]] std::vector<byte_t> compress(
+      std::span<const double> data) const override;
+  void decompress(std::span<const byte_t> stream,
+                  std::span<double> out) const override;
+
+ private:
+  bool shuffle_;
+};
+
 /// Byte-shuffle + RLE (fast, moderate ratio on smooth data).
 class ShuffleRleCompressor final : public Compressor {
  public:

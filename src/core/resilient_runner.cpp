@@ -53,6 +53,13 @@ void ResilienceConfig::validate() const {
     violation("delta.max_delta_chain must be >= 0");
   if (delta.chunk_elems < 1) violation("delta.chunk_elems must be >= 1");
   if (max_steps < 1) violation("max_steps must be >= 1");
+  // StreamingConfig knows its own constraints; fold its message into the
+  // collected list so one throw still names every violation.
+  try {
+    streaming.validate();
+  } catch (const config_error& e) {
+    violation(e.what());
+  }
   if (!errors.empty()) throw config_error(errors);
 }
 
@@ -109,6 +116,7 @@ ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
   // retention is per tier (inside the store); the manager-level prune is
   // parked far away so it never fights the hierarchy.
   manager_->set_retention(cfg_.ckpt_mode == CkptMode::kTiered ? (1 << 28) : 2);
+  manager_->set_streaming(cfg_.streaming);
   if (cfg_.delta.max_delta_chain > 0)
     manager_->set_delta(cfg_.delta.max_delta_chain, cfg_.delta.chunk_elems);
   register_variables();

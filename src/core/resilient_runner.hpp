@@ -123,6 +123,9 @@ struct ResilienceConfig {
   TieredConfig tiered{};
   PolicyConfig policy{};
   DeltaConfig delta{};
+  /// Streaming framed serializer (ckpt/frame_stream.hpp): bounded-memory
+  /// checkpoint writes/reads. On by default; delta mode takes precedence.
+  StreamingConfig streaming{};
 
   /// Virtual cost of one solver iteration at cluster scale (calibrated per
   /// method, e.g. GMRES ≈ 1.22 s at 2,048 ranks — paper §4.3).

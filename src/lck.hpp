@@ -10,7 +10,9 @@
 ///                     Market I/O, make_solver / make_preconditioner
 ///  - checkpointing:   CheckpointManager (Protect/Checkpoint/Recover),
 ///                     stores (memory, disk, tiered, dedup), make_compressor,
-///                     chunked delta encoding (DeltaConfig / set_delta)
+///                     chunked delta encoding (DeltaConfig / set_delta),
+///                     streaming framed serialization (StreamingConfig /
+///                     set_streaming)
 ///  - pacing:          CheckpointPolicy + make_policy ("fixed" | "young" |
 ///                     "adaptive"), PolicyContext
 ///  - execution:       ResilientRunner + ResilienceConfig (nested
@@ -27,6 +29,7 @@
 #include "ckpt/checkpoint_store.hpp"
 #include "ckpt/chunk/chunk_codec.hpp"
 #include "ckpt/chunk/dedup_store.hpp"
+#include "ckpt/frame_stream.hpp"
 #include "common/severity.hpp"
 #include "common/types.hpp"
 #include "compress/compressor.hpp"

@@ -41,9 +41,16 @@ class FailureInjector {
     return next_severity_;
   }
 
-  /// True if a failure strikes strictly inside (start, start+duration].
+  /// True if the armed failure lands in the half-open window
+  /// [start, start + duration). Consecutive windows [t, t+d1), [t+d1, d2), …
+  /// tile the timeline, so every failure is delivered exactly once — in
+  /// particular a failure armed at *exactly* `start`. That case is real:
+  /// arm(now) computes `now + Exp(MTTI)`, and for large `now` a small draw
+  /// rounds to exactly `now` in double precision. The previous strict
+  /// `next_ > start` test dropped such a failure forever, since every later
+  /// window also starts at or after it.
   [[nodiscard]] bool interrupts(double start, double duration) const noexcept {
-    return enabled_ && next_ > start && next_ <= start + duration;
+    return enabled_ && next_ >= start && next_ < start + duration;
   }
 
   /// Re-arm after handling a failure (or to skip one): samples the next
@@ -71,6 +78,16 @@ class FailureInjector {
     weights_ = w;
     severities_enabled_ = true;
     if (enabled_) next_severity_ = sample_severity();
+  }
+
+  /// Pin the next failure to an exact virtual time (and severity). Used for
+  /// trace replay and for tests that need boundary cases — e.g. a failure
+  /// armed exactly at a window start — which random draws hit only with
+  /// probability ~0.
+  void set_next_failure(double t,
+                        FailureSeverity sev = FailureSeverity::kProcess) noexcept {
+    next_ = t;
+    next_severity_ = sev;
   }
 
   [[nodiscard]] bool severities_enabled() const noexcept {

@@ -55,6 +55,35 @@ TEST(ByteBuffer, ReadPastEndThrows) {
   EXPECT_THROW(r.get<std::uint64_t>(), corrupt_stream_error);
 }
 
+TEST(ByteBuffer, AdversarialArrayCountDoesNotWrap) {
+  // Regression: a corrupt header can claim any element count. For counts
+  // where `count * sizeof(T)` wraps std::size_t (e.g. 2^61 doubles on a
+  // 64-bit platform wraps to 0), the old `check(count * sizeof(T))` passed
+  // and memcpy ran with the un-wrapped length. The guard must compare via
+  // division and throw instead.
+  const std::size_t wrap_count =
+      std::numeric_limits<std::size_t>::max() / sizeof(double) + 2;
+  ASSERT_LT(wrap_count * sizeof(double),  // premise: the product truly wraps
+            wrap_count);
+  std::vector<byte_t> data(64, 0);
+  ByteReader r(data);
+  double sink[4];
+  EXPECT_THROW(r.get_array(sink, wrap_count), corrupt_stream_error);
+  // The same count must also be rejected on the write side, where the
+  // wrapped product would resize the buffer tiny and emit a short stream.
+  ByteWriter w;
+  EXPECT_THROW(w.put_array(sink, wrap_count), config_error);
+  // Sane counts that merely exceed the buffer still throw (no regression).
+  ByteReader r2(data);
+  EXPECT_THROW(r2.get_array(sink, 9), corrupt_stream_error);
+  // And a huge string length prefix is caught by the plain bounds check.
+  ByteWriter w2;
+  w2.put<std::uint32_t>(0xffffffffu);
+  const auto buf = std::move(w2).take();
+  ByteReader r3(buf);
+  EXPECT_THROW(r3.get_string(), corrupt_stream_error);
+}
+
 TEST(ByteBuffer, GetBytesAdvancesAndBoundsChecks) {
   std::vector<byte_t> data{1, 2, 3, 4, 5};
   ByteReader r(data);

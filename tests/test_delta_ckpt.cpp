@@ -187,9 +187,10 @@ TEST(ChunkCodec, PeekDeltaBaseReadsHeaderOnly) {
 
 // ----- manager: sync delta chains -------------------------------------------
 
-TEST(DeltaManager, NonDeltaStreamsKeepTheLegacyFormat) {
-  // max_delta_chain = 0 (default) must leave the serializer untouched:
-  // the stored stream is the legacy format (legacy magic, not DKPT).
+TEST(DeltaManager, NonDeltaStreamsKeepTheNonDeltaFormats) {
+  // max_delta_chain = 0 (default) must keep the serializer out of delta
+  // mode: the stored stream is the framed format by default ("FKPT"), and
+  // the legacy format ("CKPT") with streaming disabled — never DKPT.
   NoneCompressor none;
   auto store = std::make_unique<MemoryStore>();
   auto* store_raw = store.get();
@@ -201,6 +202,15 @@ TEST(DeltaManager, NonDeltaStreamsKeepTheLegacyFormat) {
   EXPECT_FALSE(is_delta_stream(blob));
   std::uint32_t magic;
   std::memcpy(&magic, blob.data(), sizeof magic);
+  EXPECT_EQ(magic, kFrameStreamMagic);  // "FKPT": framed streaming format
+
+  StreamingConfig off;
+  off.enabled = false;
+  mgr.set_streaming(off);
+  mgr.checkpoint();
+  const auto legacy = store_raw->read(1);
+  EXPECT_FALSE(is_delta_stream(legacy));
+  std::memcpy(&magic, legacy.data(), sizeof magic);
   EXPECT_EQ(magic, 0x54504b43u);  // "CKPT": pre-delta stream magic
 }
 

@@ -79,6 +79,34 @@ TEST(FailureInjector, InterruptsSemantics) {
   EXPECT_FALSE(inj.interrupts(f - 5.0, 4.0));     // ends before failure
 }
 
+TEST(FailureInjector, DeliversFailureArmedExactlyAtWindowStart) {
+  // Degenerate draw: arm(now) = now + Exp(MTTI) rounds to exactly `now` when
+  // `now` is large and the draw is tiny. The window convention is half-open
+  // [start, start + duration), so such a failure must be delivered in the
+  // window that starts at it — the old strict `next_ > start` test dropped
+  // it forever (every later window starts at or after next_).
+  FailureInjector inj(100.0, 7);
+  // 2^46 s: a tiny draw (1e-3) rounds away (ulp ~0.016) but the 5 s window
+  // is still representable.
+  const double now = 70368744177664.0;
+  EXPECT_EQ(now + 1e-3, now) << "test premise: the draw must round down";
+  EXPECT_GT(now + 5.0, now) << "test premise: the window must not";
+  inj.set_next_failure(now, FailureSeverity::kNode);
+  EXPECT_TRUE(inj.interrupts(now, 5.0));
+  EXPECT_EQ(inj.severity(), FailureSeverity::kNode);
+  // And exactly once: the preceding window must NOT also claim it.
+  EXPECT_FALSE(inj.interrupts(now - 5.0, 5.0));
+}
+
+TEST(FailureInjector, WindowEndIsExclusive) {
+  // Half-open windows tile the timeline: a failure at exactly start+duration
+  // belongs to the *next* window, never to both.
+  FailureInjector inj(100.0, 11);
+  inj.set_next_failure(40.0);
+  EXPECT_FALSE(inj.interrupts(30.0, 10.0));  // [30, 40) — not yet
+  EXPECT_TRUE(inj.interrupts(40.0, 10.0));   // [40, 50) — delivered here
+}
+
 TEST(FailureInjector, DeterministicAcrossSeeds) {
   FailureInjector a(3600.0, 5), b(3600.0, 5), c(3600.0, 6);
   EXPECT_DOUBLE_EQ(a.next_failure_time(), b.next_failure_time());
