@@ -1,0 +1,294 @@
+/// Kernel-speed driver (PR 7): measures per-kernel CPU time of the fused
+/// BLAS-1 kernels against their unfused primitive sequences, blocked SpMV
+/// against the plain row loop, and the vectorized compression hot loops
+/// against naive references, then emits BENCH_kernels.json.
+///
+/// CPU time (CLOCK_PROCESS_CPUTIME_ID) sums across threads, so the
+/// fused-vs-unfused comparison measures *work*, not wall clock, and divides
+/// correctly even in a 1-core container. Real-time speedups from the
+/// parallel paths need a multicore host — see README "Kernel performance".
+///
+/// Exit status is non-zero when any fused kernel does > 1.05x the CPU work
+/// of its unfused pair (the CI gate).
+
+#include <cstdio>
+#include <ctime>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "compress/compressor.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lossless/byte_codecs.hpp"
+#include "sparse/gen/poisson3d.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace {
+
+using namespace lck;
+
+volatile double g_sink = 0.0;
+
+/// Keep a computed value live so the compiler cannot elide the timed work.
+void sink(double v) { g_sink = v; }
+
+double cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/// Best-of-`trials` CPU time for `reps` calls of f.
+template <typename F>
+double time_cpu(F&& f, int reps, int trials) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    const double t0 = cpu_seconds();
+    for (int r = 0; r < reps; ++r) f();
+    best = std::min(best, cpu_seconds() - t0);
+  }
+  return best;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v(n);
+  for (auto& x : v) x = rng.uniform() * 2.0 - 1.0;
+  return v;
+}
+
+struct Pair {
+  std::string name;
+  double cpu_fused = 0.0;
+  double cpu_unfused = 0.0;
+  bool gated = false;  ///< Participates in all_ratios_ok / the exit status.
+  [[nodiscard]] double ratio() const {
+    return cpu_unfused > 0.0 ? cpu_fused / cpu_unfused : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CliParser cli(argc, argv, "[--json <path>] [--n <elems>] [--reps <k>]");
+  bench::JsonSink json;
+  std::size_t n = 1u << 20;
+  int reps = 8;
+  while (cli.more()) {
+    if (cli.match("--json")) json = bench::JsonSink(cli.value());
+    else if (cli.match("--n")) n = static_cast<std::size_t>(cli.number(1));
+    else if (cli.match("--reps")) reps = static_cast<int>(cli.number(1));
+    else cli.die_unknown();
+  }
+  const int trials = 2;
+
+  bench::banner("Kernel raw speed: fused vs unfused CPU time",
+                "kernel-performance layer (ROADMAP: cache-blocked SpMV, "
+                "fused solver kernels, vectorized compression loops)");
+
+  std::vector<Pair> pairs;
+
+  // --- Fused BLAS-1 kernels vs primitive sequences (gated) -----------------
+  {
+    const Vector p = random_vector(n, 1), q = random_vector(n, 2);
+    Vector x = random_vector(n, 3), r = random_vector(n, 4);
+    // rho chosen so alpha = rho/pq stays ~1e-12 and x/r do not drift over
+    // the timed repetitions.
+    const double rho = 1e-12;
+    Pair pr{"cg_update", 0, 0, true};
+    pr.cpu_fused = time_cpu(
+        [&] {
+          const DotAxpyResult fu = dot_axpy(p, q, rho, x, r);
+          sink(fu.rr);
+        },
+        reps, trials);
+    pr.cpu_unfused = time_cpu(
+        [&] {
+          const double pq = dot(p, q);
+          const double alpha = rho / pq;
+          axpy(alpha, p, x);
+          axpy(-alpha, q, r);
+          sink(norm2(r));
+        },
+        reps, trials);
+    pairs.push_back(pr);
+  }
+  {
+    const Vector x = random_vector(n, 5);
+    Vector y = random_vector(n, 6);
+    Pair pr{"axpy_norm2", 0, 0, true};
+    pr.cpu_fused = time_cpu([&] { sink(axpy_norm2(1e-12, x, y)); },
+                            reps, trials);
+    pr.cpu_unfused = time_cpu(
+        [&] {
+          axpy(1e-12, x, y);
+          sink(norm2(y));
+        },
+        reps, trials);
+    pairs.push_back(pr);
+  }
+  {
+    const Vector x = random_vector(n, 7), y = random_vector(n, 8);
+    Vector w(n, 0.0);
+    Pair pr{"waxpy_dot", 0, 0, true};
+    pr.cpu_fused = time_cpu(
+        [&] { sink(waxpy_dot(x, -0.5, y, w, w)); }, reps, trials);
+    pr.cpu_unfused = time_cpu(
+        [&] {
+          waxpy(x, -0.5, y, w);
+          sink(dot(w, w));
+        },
+        reps, trials);
+    pairs.push_back(pr);
+  }
+  {
+    const Vector x = random_vector(n, 9), y = random_vector(n, 10),
+                 z = random_vector(n, 11);
+    Pair pr{"dot2", 0, 0, true};
+    pr.cpu_fused = time_cpu(
+        [&] {
+          const auto [a, b] = dot2(x, y, z);
+          sink(a + b);
+        },
+        reps, trials);
+    pr.cpu_unfused = time_cpu(
+        [&] { sink(dot(x, y) + dot(x, z)); }, reps, trials);
+    pairs.push_back(pr);
+  }
+  {
+    const Vector p = random_vector(n, 12), q = random_vector(n, 13);
+    Vector z = random_vector(n, 14);
+    Pair pr{"axpy2", 0, 0, true};
+    pr.cpu_fused =
+        time_cpu([&] { axpy2(1e-12, p, -1e-12, q, z); }, reps, trials);
+    pr.cpu_unfused = time_cpu(
+        [&] {
+          axpy(1e-12, p, z);
+          axpy(-1e-12, q, z);
+        },
+        reps, trials);
+    pairs.push_back(pr);
+  }
+
+  // --- Blocked SpMV vs plain row loop (informational ratios) ---------------
+  {
+    const CsrMatrix a = poisson3d_spd(40);  // 64k rows, ~440k nnz
+    const Vector x = random_vector(static_cast<std::size_t>(a.cols()), 15);
+    const Vector b = random_vector(static_cast<std::size_t>(a.rows()), 16);
+    Vector y(static_cast<std::size_t>(a.rows()), 0.0);
+    Pair spmv{"spmv_blocked", 0, 0, false};
+    spmv.cpu_fused = time_cpu([&] { a.multiply(x, y); }, reps, trials);
+    spmv.cpu_unfused = time_cpu([&] { a.multiply_rowwise(x, y); }, reps, trials);
+    pairs.push_back(spmv);
+
+    Pair res{"residual_blocked", 0, 0, false};
+    res.cpu_fused = time_cpu([&] { a.residual(b, x, y); }, reps, trials);
+    res.cpu_unfused =
+        time_cpu([&] { a.residual_rowwise(b, x, y); }, reps, trials);
+    pairs.push_back(res);
+  }
+
+  // --- Compression hot loops vs naive references (informational) ----------
+  {
+    const Vector field = random_vector(n, 17);
+    const auto* bytes = reinterpret_cast<const byte_t*>(field.data());
+    const std::size_t nbytes = field.size() * sizeof(double);
+    Pair pr{"shuffle_tiled", 0, 0, false};
+    pr.cpu_fused = time_cpu(
+        [&] {
+          const auto s = shuffle_bytes({bytes, nbytes}, sizeof(double));
+          sink(static_cast<double>(s[0]));
+        },
+        reps, trials);
+    pr.cpu_unfused = time_cpu(
+        [&] {
+          // Pre-tiling reference: full element sweep per byte lane.
+          std::vector<byte_t> out(nbytes);
+          const std::size_t elems = nbytes / sizeof(double);
+          for (std::size_t k = 0; k < sizeof(double); ++k)
+            for (std::size_t e = 0; e < elems; ++e)
+              out[k * elems + e] = bytes[e * sizeof(double) + k];
+          sink(static_cast<double>(out[0]));
+        },
+        reps, trials);
+    pairs.push_back(pr);
+  }
+  {
+    // Skewed quantization-code stream (the SZ common case).
+    Rng rng(18);
+    std::vector<std::uint32_t> codes(4 * n);
+    for (auto& c : codes)
+      c = rng.uniform() < 0.9 ? 32768u
+                              : static_cast<std::uint32_t>(rng.uniform() * 65536.0);
+    Pair pr{"histogram_4way", 0, 0, false};
+    pr.cpu_fused = time_cpu(
+        [&] {
+          const auto f = count_frequencies(codes, 65536);
+          sink(static_cast<double>(f[32768]));
+        },
+        reps, trials);
+    pr.cpu_unfused = time_cpu(
+        [&] {
+          std::vector<std::uint64_t> f(65536, 0);
+          for (const auto c : codes) ++f[c];
+          sink(static_cast<double>(f[32768]));
+        },
+        reps, trials);
+    pairs.push_back(pr);
+  }
+
+  // --- End-to-end codec throughput (informational) -------------------------
+  double sz_mb_s = 0.0, trunc_mb_s = 0.0;
+  {
+    Rng rng(19);
+    Vector field(1u << 19);
+    for (std::size_t i = 0; i < field.size(); ++i)
+      field[i] = std::sin(0.0005 * static_cast<double>(i)) + 2.0 +
+                 1e-6 * rng.uniform();
+    const double mb =
+        static_cast<double>(field.size() * sizeof(double)) / (1024.0 * 1024.0);
+    const auto sz = make_compressor("sz", ErrorBound::absolute(1e-6));
+    const double t_sz =
+        time_cpu([&] { sink(static_cast<double>(
+                           sz->compress(field).size())); },
+                 std::max(1, reps / 2), trials);
+    sz_mb_s = mb * std::max(1, reps / 2) / t_sz;
+    const auto trunc = make_compressor("trunc", ErrorBound::absolute(1e-6));
+    const double t_trunc =
+        time_cpu([&] { sink(static_cast<double>(
+                           trunc->compress(field).size())); },
+                 std::max(1, reps / 2), trials);
+    trunc_mb_s = mb * std::max(1, reps / 2) / t_trunc;
+  }
+
+  // --- Report --------------------------------------------------------------
+  std::printf("%-18s %12s %12s %8s %6s\n", "kernel", "fused s", "unfused s",
+              "ratio", "gated");
+  bool all_ok = true;
+  std::vector<std::vector<double>> rows;
+  for (const Pair& p : pairs) {
+    const double ratio = p.ratio();
+    if (p.gated && ratio > 1.05) all_ok = false;
+    std::printf("%-18s %12.4f %12.4f %8.3f %6s\n", p.name.c_str(), p.cpu_fused,
+                p.cpu_unfused, ratio, p.gated ? "yes" : "no");
+    rows.push_back({p.cpu_fused, p.cpu_unfused, ratio, p.gated ? 1.0 : 0.0});
+    json.scalar("cpu_" + p.name + "_fused", p.cpu_fused);
+    json.scalar("cpu_" + p.name + "_unfused", p.cpu_unfused);
+    json.scalar("ratio_" + p.name, ratio);
+  }
+  std::printf("sz compress: %.1f MB/s CPU, trunc compress: %.1f MB/s CPU\n",
+              sz_mb_s, trunc_mb_s);
+  std::printf("all gated ratios <= 1.05: %s\n", all_ok ? "yes" : "NO");
+
+  json.scalar("elems", static_cast<double>(n));
+  json.scalar("reps", reps);
+  json.scalar("sz_compress_mb_s", sz_mb_s);
+  json.scalar("trunc_compress_mb_s", trunc_mb_s);
+  json.scalar("all_ratios_ok", all_ok ? 1.0 : 0.0);
+  json.table("kernels", {"cpu_fused_s", "cpu_unfused_s", "ratio", "gated"},
+             rows);
+  json.write();
+  return all_ok ? 0 : 1;
+}

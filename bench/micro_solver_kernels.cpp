@@ -27,6 +27,20 @@ void bm_spmv(benchmark::State& state) {
                           a.nnz());
 }
 
+/// Plain row loop pairing bm_spmv: the bm_spmv/bm_spmv_rowwise items/s
+/// ratio at equal Arg is the cache-blocked plan's raw speedup.
+void bm_spmv_rowwise(benchmark::State& state) {
+  const lck::index_t n = state.range(0);
+  const auto a = lck::poisson3d_spd(n);
+  lck::Vector x(a.rows(), 1.0), y(a.rows());
+  for (auto _ : state) {
+    a.multiply_rowwise(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          a.nnz());
+}
+
 void bm_preconditioner(benchmark::State& state, const char* name) {
   const auto a = lck::poisson3d_spd(24);
   const auto m = lck::make_preconditioner(name, a, 8);
@@ -110,9 +124,61 @@ void bm_norm_inf(benchmark::State& state) {
   });
 }
 
+// Fused kernels vs their unfused primitive sequences, on the same
+// fixed-partition reduction substrate. Each fused/unfused pair at equal
+// (elements, threads) produces bit-identical values; the items/s gap is the
+// saved memory traffic. `y` is mutated by the axpy, but the tiny alpha keeps
+// values in range across iterations.
+void bm_dot_axpy(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector& y) {
+    auto& xm = const_cast<lck::Vector&>(x);
+    auto& ym = const_cast<lck::Vector&>(y);
+    return lck::dot_axpy(x, y, 1e-12, xm, ym).rr;
+  });
+}
+
+void bm_dot_axpy_unfused(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector& y) {
+    auto& xm = const_cast<lck::Vector&>(x);
+    auto& ym = const_cast<lck::Vector&>(y);
+    const double pq = lck::dot(x, y);
+    const double alpha = 1e-12 / pq;
+    lck::axpy(alpha, x, xm);
+    lck::axpy(-alpha, y, ym);
+    return lck::norm2(y);
+  });
+}
+
+void bm_axpy_norm2(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector& y) {
+    return lck::axpy_norm2(1e-12, x, const_cast<lck::Vector&>(y));
+  });
+}
+
+void bm_axpy_norm2_unfused(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector& y) {
+    lck::axpy(1e-12, x, const_cast<lck::Vector&>(y));
+    return lck::norm2(y);
+  });
+}
+
+void bm_dot2(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector& y) {
+    const auto [a, b] = lck::dot2(x, y, x);
+    return a + b;
+  });
+}
+
+void bm_dot2_unfused(benchmark::State& state) {
+  bm_reduction(state, [](const lck::Vector& x, const lck::Vector& y) {
+    return lck::dot(x, y) + lck::dot(x, x);
+  });
+}
+
 }  // namespace
 
 BENCHMARK(bm_spmv)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK(bm_spmv_rowwise)->Arg(16)->Arg(32)->Arg(48);
 BENCHMARK_CAPTURE(bm_preconditioner, jacobi, "jacobi");
 BENCHMARK_CAPTURE(bm_preconditioner, bjacobi, "bjacobi");
 BENCHMARK_CAPTURE(bm_preconditioner, ilu0, "ilu0");
@@ -128,6 +194,24 @@ BENCHMARK(bm_norm2)
     ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_norm_inf)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_dot_axpy)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_dot_axpy_unfused)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_axpy_norm2)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_axpy_norm2_unfused)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_dot2)
+    ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_dot2_unfused)
     ->ArgsProduct({{8 << 20}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 

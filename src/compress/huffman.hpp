@@ -25,6 +25,15 @@ inline constexpr unsigned kHuffmanMaxBits = 24;
 [[nodiscard]] std::vector<std::uint8_t> huffman_code_lengths(
     std::span<const std::uint64_t> freqs);
 
+/// Symbol-frequency histogram over `symbols` (each must be < `alphabet`).
+/// Internally accumulates four interleaved partial histograms so the counter
+/// increments form independent dependency chains (the single loop-carried
+/// `++freq[c]` serializes on store-to-load forwarding for skewed symbol
+/// streams), then merges them. Integer addition is associative, so the
+/// result is identical to the naive loop.
+[[nodiscard]] std::vector<std::uint64_t> count_frequencies(
+    std::span<const std::uint32_t> symbols, std::size_t alphabet);
+
 /// Canonical Huffman encoder built from code lengths.
 class HuffmanEncoder {
  public:

@@ -22,24 +22,43 @@ constexpr std::uint32_t kAlphabet = 2 * kRadius;  // code 0 = unpredictable
 
 /// Adaptive 3-predictor bank over the reconstructed history. Encoder and
 /// decoder both run this deterministically.
+///
+/// Each element needs the three predictor outputs twice — once to pick the
+/// currently-best prediction and once for the hindsight rank update — so
+/// candidates() evaluates them a single time per element and both select()
+/// and push() consume the cached values. Same expressions at the same
+/// history state as the old predict()/push() pair, so streams are
+/// byte-identical while the per-element bank arithmetic is halved.
 class PredictorBank {
  public:
-  /// Prediction for the next point given reconstructed history h1=x'_{i-1},
-  /// h2=x'_{i-2}, h3=x'_{i-3} (zeros until warm).
-  [[nodiscard]] double predict() const noexcept {
+  /// The three predictor outputs at the current history state
+  /// (h1=x'_{i-1}, h2=x'_{i-2}, h3=x'_{i-3}; zeros until warm).
+  struct Candidates {
+    double p0, p1, p2;
+  };
+
+  [[nodiscard]] Candidates candidates() const noexcept {
+    return {h1_,                          // constant (Lorenzo-1D)
+            2.0 * h1_ - h2_,              // linear extrapolation
+            3.0 * h1_ - 3.0 * h2_ + h3_}; // quadratic extrapolation
+  }
+
+  /// Prediction for the next point: the candidate ranked best so far.
+  [[nodiscard]] double select(const Candidates& c) const noexcept {
     switch (best_) {
-      case 1: return 2.0 * h1_ - h2_;              // linear extrapolation
-      case 2: return 3.0 * h1_ - 3.0 * h2_ + h3_;  // quadratic extrapolation
-      default: return h1_;                         // constant (Lorenzo-1D)
+      case 1: return c.p1;
+      case 2: return c.p2;
+      default: return c.p0;
     }
   }
 
   /// After reconstructing x', update history and re-rank predictors by
   /// their error on this point (hindsight adaptation, no side info).
-  void push(double reconstructed) noexcept {
-    const double e0 = std::fabs(reconstructed - h1_);
-    const double e1 = std::fabs(reconstructed - (2.0 * h1_ - h2_));
-    const double e2 = std::fabs(reconstructed - (3.0 * h1_ - 3.0 * h2_ + h3_));
+  /// `c` must be candidates() sampled before this push.
+  void push(double reconstructed, const Candidates& c) noexcept {
+    const double e0 = std::fabs(reconstructed - c.p0);
+    const double e1 = std::fabs(reconstructed - c.p1);
+    const double e2 = std::fabs(reconstructed - c.p2);
     best_ = 0;
     double be = e0;
     if (e1 < be) { best_ = 1; be = e1; }
@@ -54,45 +73,60 @@ class PredictorBank {
   int best_ = 0;
 };
 
+/// Elements per encode block: the codes slice, outlier scratch, and bank
+/// state stay L1/L2-resident while the inner loop runs branch-light.
+constexpr std::size_t kSzBlock = 4096;
+
 /// Core absolute-error-bounded compressor for a raw double sequence.
 /// Appends to `out`: quantizer params, Huffman table, outliers, payload.
 void core_compress(ByteWriter& out, std::span<const double> data, double eb) {
   const std::size_t n = data.size();
   std::vector<std::uint32_t> codes(n);
   std::vector<double> outliers;
+  std::vector<double> block_outliers;
+  block_outliers.reserve(kSzBlock);
   PredictorBank bank;
 
   const double inv_step = eb > 0.0 ? 1.0 / (2.0 * eb) : 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = data[i];
-    const double pred = bank.predict();
-    double reconstructed;
-    std::uint32_t code = 0;
-    // eb == 0 still enters the predicted path: inv_step is then 0, so the
-    // candidate is the prediction itself and the |candidate − x| ≤ 0 check
-    // admits it only when the predictor is exact (e.g. constant data).
-    if (std::isfinite(pred)) {
-      const double q = std::nearbyint((x - pred) * inv_step);
-      if (std::fabs(q) < static_cast<double>(kRadius)) {
-        const double candidate = pred + 2.0 * eb * q;
-        if (std::fabs(candidate - x) <= eb) {
-          code = static_cast<std::uint32_t>(static_cast<std::int64_t>(q) +
-                                            static_cast<std::int64_t>(kRadius));
-          reconstructed = candidate;
-          codes[i] = code;
-          bank.push(reconstructed);
-          continue;
+  // 2·eb·q associates left-to-right, so hoisting (2.0·eb) out of the loop is
+  // the identical computation.
+  const double two_eb = 2.0 * eb;
+  // Blocked two-phase encode: the tight quantize loop fills a block's worth
+  // of codes plus a small outlier scratch, then outliers merge into the
+  // global array once per block (no per-element push_back growth checks on
+  // the large vector).
+  for (std::size_t b0 = 0; b0 < n; b0 += kSzBlock) {
+    const std::size_t b1 = std::min(n, b0 + kSzBlock);
+    block_outliers.clear();
+    for (std::size_t i = b0; i < b1; ++i) {
+      const double x = data[i];
+      const auto cand = bank.candidates();
+      const double pred = bank.select(cand);
+      // eb == 0 still enters the predicted path: inv_step is then 0, so the
+      // candidate is the prediction itself and the |candidate − x| ≤ 0 check
+      // admits it only when the predictor is exact (e.g. constant data).
+      if (std::isfinite(pred)) {
+        const double q = std::nearbyint((x - pred) * inv_step);
+        if (std::fabs(q) < static_cast<double>(kRadius)) {
+          const double candidate = pred + two_eb * q;
+          if (std::fabs(candidate - x) <= eb) {
+            codes[i] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(q) + static_cast<std::int64_t>(kRadius));
+            bank.push(candidate, cand);
+            continue;
+          }
         }
       }
+      // Unpredictable: store verbatim (exact).
+      codes[i] = 0;
+      block_outliers.push_back(x);
+      bank.push(x, cand);
     }
-    // Unpredictable: store verbatim (exact).
-    codes[i] = 0;
-    outliers.push_back(x);
-    bank.push(x);
+    outliers.insert(outliers.end(), block_outliers.begin(),
+                    block_outliers.end());
   }
 
-  std::vector<std::uint64_t> freq(kAlphabet, 0);
-  for (const auto c : codes) ++freq[c];
+  const auto freq = count_frequencies(codes, kAlphabet);
   const auto lengths = huffman_code_lengths(freq);
   const HuffmanEncoder enc(lengths);
 
@@ -129,8 +163,10 @@ std::vector<double> core_decompress(ByteReader& in, std::size_t expect_n) {
   std::vector<double> out(n);
   PredictorBank bank;
   std::size_t next_outlier = 0;
+  const double two_eb = 2.0 * eb;
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t code = dec.decode(br);
+    const auto cand = bank.candidates();
     double x;
     if (code == 0) {
       if (next_outlier >= outliers.size())
@@ -139,10 +175,10 @@ std::vector<double> core_decompress(ByteReader& in, std::size_t expect_n) {
     } else {
       const double q = static_cast<double>(static_cast<std::int64_t>(code) -
                                            static_cast<std::int64_t>(radius));
-      x = bank.predict() + 2.0 * eb * q;
+      x = bank.select(cand) + two_eb * q;
     }
     out[i] = x;
-    bank.push(x);
+    bank.push(x, cand);
   }
   if (next_outlier != outliers.size())
     throw corrupt_stream_error("sz: unused outliers");

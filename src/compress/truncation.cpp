@@ -1,5 +1,6 @@
 #include "compress/truncation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -41,6 +42,52 @@ double groom(double x, double eb) {
   return y;
 }
 
+/// clear_bits in groom() depends on x only through its biased exponent (the
+/// frexp/ldexp/log2 chain), so for a fixed eb all 2046 normal exponents can
+/// be resolved once into a table and the hot loop reduces to an exponent
+/// extraction + add-half-then-mask. Entries are computed with the exact
+/// scalar formulas above (including log2's boundary rounding), so
+/// groom_fast() is bit-identical to groom(); zero/denormal (biased 0) and
+/// inf/nan (biased 0x7ff) fall back to the scalar path.
+struct GroomTable {
+  // half[b] == 0 means "keep x unchanged" for that biased exponent.
+  std::uint64_t half[2048];
+  std::uint64_t mask[2048];
+
+  explicit GroomTable(double eb) {
+    half[0] = half[2047] = 0;
+    mask[0] = mask[2047] = ~0ull;
+    for (int b = 1; b <= 2046; ++b) {
+      // A sample value with biased exponent b; frexp(x) then yields
+      // e = b − 1022, identical to the scalar path for every x in the bin.
+      const int e = b - 1022;
+      half[b] = 0;
+      mask[b] = ~0ull;
+      const double ulp = std::ldexp(1.0, e - 53);
+      if (ulp >= eb) continue;
+      int clear_bits = static_cast<int>(std::log2(eb / ulp));
+      clear_bits = std::min(clear_bits, 52);
+      if (clear_bits <= 0) continue;
+      half[b] = 1ull << (clear_bits - 1);
+      mask[b] = ~((1ull << clear_bits) - 1);
+    }
+  }
+
+  [[nodiscard]] double groom_fast(double x, double eb) const {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    const auto b = static_cast<std::size_t>((bits >> 52) & 0x7ff);
+    if (b == 0 || b == 2047) return groom(x, eb);  // zero/denormal, inf/nan
+    const std::uint64_t h = half[b];
+    if (h == 0) return x;
+    const std::uint64_t rounded = (bits + h) & mask[b];
+    double y;
+    std::memcpy(&y, &rounded, sizeof(y));
+    if (!std::isfinite(y) || std::fabs(y - x) > eb) return x;  // safe fallback
+    return y;
+  }
+};
+
 }  // namespace
 
 std::vector<byte_t> TruncationCompressor::compress(
@@ -62,8 +109,14 @@ std::vector<byte_t> TruncationCompressor::compress(
   }
 
   std::vector<double> groomed(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i)
-    groomed[i] = groom(data[i], eb_abs);
+  if (eb_abs <= 0.0) {
+    // groom() is the identity for non-positive bounds: copy verbatim.
+    std::copy(data.begin(), data.end(), groomed.begin());
+  } else {
+    const GroomTable table(eb_abs);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      groomed[i] = table.groom_fast(data[i], eb_abs);
+  }
 
   const auto shuffled = shuffle_bytes(
       {reinterpret_cast<const byte_t*>(groomed.data()),

@@ -36,12 +36,12 @@ void MinresSolver::do_resume_after_restore() { do_restart(); }
 void MinresSolver::do_step() {
   if (res_norm_ <= tolerance()) return;
 
-  // Lanczos step: v_new = A·v − α·v − β·v_old.
+  // Lanczos step: v_new = A·v − α·v − β·v_old, with the two subtractions and
+  // the norm fused into one sweep (bit-identical to the axpy/axpy/norm2
+  // sequence — see tests/test_kernels.cpp).
   a_.multiply(v_, v_new_);
   const double alpha = dot(v_, v_new_);
-  axpy(-alpha, v_, v_new_);
-  axpy(-beta_, v_old_, v_new_);
-  const double beta_new = norm2(v_new_);
+  const double beta_new = axpy2_norm2(-alpha, v_, -beta_, v_old_, v_new_);
 
   // Apply the two previous Givens rotations to the new tridiagonal column
   // (β_old was already rotated once when it was created).
@@ -59,11 +59,9 @@ void MinresSolver::do_step() {
   const double c_new = rho1_bar / rho1;
   const double s_new = beta_new / rho1;
 
-  // Direction update: d_new = (v − ρ3·d_old − ρ2·d)/ρ1.
-  copy(v_, d_new_);
-  axpy(-rho3, d_old_, d_new_);
-  axpy(-rho2, d_, d_new_);
-  scale(d_new_, 1.0 / rho1);
+  // Direction update: d_new = (v − ρ3·d_old − ρ2·d)/ρ1, one fused sweep
+  // instead of copy + axpy + axpy + scale.
+  waxpy2_scale(v_, -rho3, d_old_, -rho2, d_, 1.0 / rho1, d_new_);
 
   // Solution and residual-norm recurrences.
   axpy(c_new * eta_, d_new_, x_);

@@ -17,12 +17,17 @@ class Preconditioner {
   virtual ~Preconditioner() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+  /// True iff apply() is a verbatim copy (M = I). Solvers use this to skip
+  /// the copy and the extra z-vector sweep entirely; since z would equal r
+  /// bit-for-bit, the fast path cannot change any trajectory.
+  [[nodiscard]] virtual bool is_identity() const noexcept { return false; }
 };
 
 /// M = I (no preconditioning).
 class IdentityPreconditioner final : public Preconditioner {
  public:
   [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] bool is_identity() const noexcept override { return true; }
   void apply(std::span<const double> r, std::span<double> z) const override {
     copy(r, z);
   }

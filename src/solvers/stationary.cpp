@@ -29,9 +29,11 @@ void JacobiSolver::do_resume_after_restore() {
 }
 
 void JacobiSolver::do_step() {
-  // x ← x + D⁻¹ r, then refresh the recomputed residual.
-  parallel_for(0, static_cast<index_t>(x_.size()),
-               [&](index_t i) { x_[i] += inv_diag_[i] * r_[i]; });
+  // x ← x + D⁻¹ r, then refresh the recomputed residual. Fusing the norm
+  // into residual() is NOT done: residual() partitions work by SpMV row
+  // blocks while norm2() reduces over fixed 16Ki element blocks, so a fused
+  // sum would associate differently and break bit-stability.
+  diag_axpy(inv_diag_, r_, x_);
   a_.residual(b_, x_, r_);
   res_norm_ = norm2(r_);
 }

@@ -3,6 +3,7 @@
 /// \brief Compressed-sparse-row matrix with parallel SpMV and the
 ///        triangular-solve kernels the preconditioners need.
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -15,10 +16,22 @@ namespace lck {
 ///
 /// Invariants (checked by validate()):
 ///  - row_ptr has rows()+1 monotonically non-decreasing entries,
-///  - col_idx values lie in [0, cols()),
+///  - col_idx values lie in [0, cols()) and ascend within each row,
 ///  - row_ptr.front() == 0 and row_ptr.back() == nnz().
+///
+/// Construction precomputes a row-blocking plan for SpMV: consecutive rows
+/// are grouped into blocks of ~kSpmvBlockNnz nonzeros (capped at
+/// kSpmvBlockMaxRows rows), so each parallel task streams a cache-sized
+/// slice of col_idx/values and short rows are batched many-per-task instead
+/// of one-per-task. Per-row sums stay serially associated, so blocked SpMV
+/// is bit-identical to the plain row loop (multiply_rowwise).
 class CsrMatrix {
  public:
+  /// Target nonzeros per SpMV block (~48 KiB of col+val per block).
+  static constexpr index_t kSpmvBlockNnz = 4096;
+  /// Cap on rows per block so empty/short-row runs still spread across tasks.
+  static constexpr index_t kSpmvBlockMaxRows = 1024;
+
   CsrMatrix() = default;
 
   CsrMatrix(index_t rows, index_t cols, std::vector<index_t> row_ptr,
@@ -29,6 +42,7 @@ class CsrMatrix {
         col_idx_(std::move(col_idx)),
         values_(std::move(values)) {
     validate();
+    build_plan();
   }
 
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
@@ -42,35 +56,37 @@ class CsrMatrix {
   [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
   [[nodiscard]] std::span<double> values_mut() noexcept { return values_; }
 
-  /// y := A·x (parallel over rows).
-  void multiply(std::span<const double> x, std::span<double> y) const {
-    require(static_cast<index_t>(x.size()) == cols_, "spmv: x size mismatch");
-    require(static_cast<index_t>(y.size()) == rows_, "spmv: y size mismatch");
-    parallel_for(0, rows_, [&](index_t r) {
-      double sum = 0.0;
-      for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-        sum += values_[k] * x[col_idx_[k]];
-      y[r] = sum;
-    });
-  }
+  /// y := A·x. Cache-blocked over the precomputed row plan with a 4-wide
+  /// unrolled (single-accumulator, serially associated) inner loop;
+  /// bit-identical to multiply_rowwise().
+  void multiply(std::span<const double> x, std::span<double> y) const;
 
   /// y := b − A·x (fused residual kernel; paper Algorithm 1 line 8).
+  /// Blocked like multiply(); bit-identical to residual_rowwise().
   void residual(std::span<const double> b, std::span<const double> x,
-                std::span<double> y) const {
-    require(static_cast<index_t>(b.size()) == rows_, "residual: b size mismatch");
-    require(static_cast<index_t>(x.size()) == cols_, "residual: x size mismatch");
-    parallel_for(0, rows_, [&](index_t r) {
-      double sum = 0.0;
-      for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-        sum += values_[k] * x[col_idx_[k]];
-      y[r] = b[r] - sum;
-    });
+                std::span<double> y) const;
+
+  /// Plain one-row-per-task reference SpMV (pre-blocking kernel). Kept for
+  /// tests and benches that pin blocked == rowwise bit-for-bit.
+  void multiply_rowwise(std::span<const double> x, std::span<double> y) const;
+
+  /// Plain reference residual, pairing multiply_rowwise().
+  void residual_rowwise(std::span<const double> b, std::span<const double> x,
+                        std::span<double> y) const;
+
+  /// Number of blocks in the SpMV row plan (for tests/benches).
+  [[nodiscard]] index_t spmv_blocks() const noexcept {
+    return static_cast<index_t>(block_rows_.size()) - 1;
   }
 
-  /// Value at (r, c), 0 if not stored. O(row nnz) scan; for tests/tools.
+  /// Value at (r, c), 0 if not stored. Columns ascend within a row, so this
+  /// is a binary search: O(log row-nnz).
   [[nodiscard]] double at(index_t r, index_t c) const {
-    for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      if (col_idx_[k] == c) return values_[k];
+    const auto first = col_idx_.begin() + row_ptr_[r];
+    const auto last = col_idx_.begin() + row_ptr_[r + 1];
+    const auto it = std::lower_bound(first, last, c);
+    if (it != last && *it == c)
+      return values_[static_cast<std::size_t>(it - col_idx_.begin())];
     return 0.0;
   }
 
@@ -96,10 +112,33 @@ class CsrMatrix {
   void validate() const;
 
  private:
+  /// Tag for the trusted construction path: skips validate() when the
+  /// arrays are correct by construction (CsrBuilder's incremental checks,
+  /// transpose()'s counting pass). Untrusted input — e.g. Matrix Market
+  /// ingestion — must keep going through the validating constructor.
+  struct Trusted {};
+
+  CsrMatrix(Trusted, index_t rows, index_t cols, std::vector<index_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<double> values)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    build_plan();
+  }
+
+  friend class CsrBuilder;
+
+  /// Recompute block_rows_ from row_ptr_ (called by every constructor).
+  void build_plan();
+
   index_t rows_ = 0, cols_ = 0;
   std::vector<index_t> row_ptr_{0};
   std::vector<index_t> col_idx_;
   std::vector<double> values_;
+  /// SpMV row plan: block b covers rows [block_rows_[b], block_rows_[b+1]).
+  std::vector<index_t> block_rows_{0};
 };
 
 /// Row-by-row CSR builder; entries within a row must be appended in
@@ -135,8 +174,21 @@ class CsrBuilder {
     row_ptr_.push_back(static_cast<index_t>(col_idx_.size()));
   }
 
-  /// Finalize; all rows must have been finished.
+  /// Finalize; all rows must have been finished. Uses the trusted (skip
+  /// re-validate) path: add()/finish_row() already enforced every invariant
+  /// validate() would re-check — columns in range and strictly ascending per
+  /// row, row_ptr starting at 0, monotone, and ending at nnz.
   [[nodiscard]] CsrMatrix build() && {
+    require(static_cast<index_t>(row_ptr_.size()) == rows_ + 1,
+            "csr builder: not all rows finished");
+    return CsrMatrix(CsrMatrix::Trusted{}, rows_, cols_, std::move(row_ptr_),
+                     std::move(col_idx_), std::move(values_));
+  }
+
+  /// Finalize with a full validate() pass. For builders fed from untrusted
+  /// input (Matrix Market files) where a redundant O(nnz) check is cheap
+  /// insurance against builder-bypassing bugs.
+  [[nodiscard]] CsrMatrix build_validated() && {
     require(static_cast<index_t>(row_ptr_.size()) == rows_ + 1,
             "csr builder: not all rows finished");
     return CsrMatrix(rows_, cols_, std::move(row_ptr_), std::move(col_idx_),

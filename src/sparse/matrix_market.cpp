@@ -65,7 +65,9 @@ CsrMatrix read_matrix_market(std::istream& in) {
     b.finish_row();
     ++current_row;
   }
-  return std::move(b).build();
+  // Untrusted external input: keep the full validate() pass on top of the
+  // builder's incremental checks.
+  return std::move(b).build_validated();
 }
 
 CsrMatrix load_matrix_market(const std::string& path) {

@@ -16,7 +16,9 @@
 /// (and the virtual-clock results built on them) irreproducible across
 /// machines.
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -28,6 +30,30 @@
 namespace lck {
 
 using Vector = std::vector<double>;
+
+namespace detail {
+
+/// Instrumentation: every kernel in this file adds the number of full-vector
+/// data passes it performs (one relaxed atomic add per *call*, not per
+/// element, so the cost is invisible next to the sweep itself). Tests and
+/// benches use the counter to assert that the fused per-iteration solver
+/// bodies really cut the sweep count, instead of trusting a comment.
+inline std::atomic<std::uint64_t> g_vector_passes{0};
+
+inline void count_passes(std::uint64_t n) noexcept {
+  g_vector_passes.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// Total full-vector passes performed by vector_ops kernels so far.
+[[nodiscard]] inline std::uint64_t vector_pass_count() noexcept {
+  return detail::g_vector_passes.load(std::memory_order_relaxed);
+}
+
+inline void reset_vector_pass_count() noexcept {
+  detail::g_vector_passes.store(0, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -86,17 +112,20 @@ template <typename Term>
 /// y := x (sizes must match).
 inline void copy(std::span<const double> x, std::span<double> y) {
   require(x.size() == y.size(), "copy: size mismatch");
+  detail::count_passes(1);
   parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { y[i] = x[i]; });
 }
 
 /// x := alpha.
 inline void fill(std::span<double> x, double alpha) {
+  detail::count_passes(1);
   parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { x[i] = alpha; });
 }
 
 /// y := alpha*x + y.
 inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   require(x.size() == y.size(), "axpy: size mismatch");
+  detail::count_passes(1);
   parallel_for(0, static_cast<index_t>(x.size()),
                [&](index_t i) { y[i] += alpha * x[i]; });
 }
@@ -104,6 +133,7 @@ inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
 /// y := x + beta*y  (the "xpby" update used by CG's direction recurrence).
 inline void xpby(std::span<const double> x, double beta, std::span<double> y) {
   require(x.size() == y.size(), "xpby: size mismatch");
+  detail::count_passes(1);
   parallel_for(0, static_cast<index_t>(x.size()),
                [&](index_t i) { y[i] = x[i] + beta * y[i]; });
 }
@@ -112,12 +142,14 @@ inline void xpby(std::span<const double> x, double beta, std::span<double> y) {
 inline void waxpy(std::span<const double> x, double alpha,
                   std::span<const double> y, std::span<double> w) {
   require(x.size() == y.size() && x.size() == w.size(), "waxpy: size mismatch");
+  detail::count_passes(1);
   parallel_for(0, static_cast<index_t>(x.size()),
                [&](index_t i) { w[i] = x[i] + alpha * y[i]; });
 }
 
 /// x := alpha*x.
 inline void scale(std::span<double> x, double alpha) {
+  detail::count_passes(1);
   parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { x[i] *= alpha; });
 }
 
@@ -125,18 +157,21 @@ inline void scale(std::span<double> x, double alpha) {
 /// for any thread count).
 [[nodiscard]] inline double dot(std::span<const double> x, std::span<const double> y) {
   require(x.size() == y.size(), "dot: size mismatch");
+  detail::count_passes(1);
   return detail::deterministic_reduce_sum(
       static_cast<index_t>(x.size()), [&](index_t i) { return x[i] * y[i]; });
 }
 
 /// Euclidean norm ||x||₂ (deterministic fixed-partition reduction).
 [[nodiscard]] inline double norm2(std::span<const double> x) {
+  detail::count_passes(1);
   return std::sqrt(detail::deterministic_reduce_sum(
       static_cast<index_t>(x.size()), [&](index_t i) { return x[i] * x[i]; }));
 }
 
 /// Max norm ||x||∞ (deterministic fixed-partition reduction).
 [[nodiscard]] inline double norm_inf(std::span<const double> x) {
+  detail::count_passes(1);
   return detail::deterministic_reduce_max(
       static_cast<index_t>(x.size()), [&](index_t i) { return std::fabs(x[i]); });
 }
@@ -145,9 +180,212 @@ inline void scale(std::span<double> x, double alpha) {
 [[nodiscard]] inline double max_abs_diff(std::span<const double> x,
                                          std::span<const double> y) {
   require(x.size() == y.size(), "max_abs_diff: size mismatch");
+  detail::count_passes(1);
   return detail::deterministic_reduce_max(
       static_cast<index_t>(x.size()),
       [&](index_t i) { return std::fabs(x[i] - y[i]); });
+}
+
+// ---------------------------------------------------------------------------
+// Fused kernels.
+//
+// Each kernel below replaces a sequence of the primitive calls above with a
+// single memory sweep while preserving *bit-identical* results:
+//  - elementwise updates use exactly the expressions of the primitive
+//    sequence they replace (same association, same sign handling), and
+//  - reductions ride the same deterministic fixed partition as dot()/norm2(),
+//    accumulated in the same per-block serial order,
+// so a solver rewritten onto them produces the same trajectory to the last
+// bit at any thread count (pinned by tests/test_kernels.cpp).
+// ---------------------------------------------------------------------------
+
+/// Result of the fused CG inner update (see dot_axpy).
+struct DotAxpyResult {
+  double pq = 0.0;     ///< pᵀq, always computed.
+  double alpha = 0.0;  ///< rho / pq (0 when !updated).
+  double rr = 0.0;     ///< rᵀr after the update (0 when !updated).
+  bool updated = false;  ///< False on breakdown (pq zero or non-finite).
+};
+
+/// CG's fused inner update: pq = pᵀq; if pq is finite and nonzero,
+/// alpha = rho/pq, then one sweep performs x += alpha·p, r −= alpha·q and
+/// accumulates rᵀr of the updated residual. Replaces
+///   dot(p,q); axpy(alpha,p,x); axpy(-alpha,q,r); norm2(r)
+/// (four sweeps) with two. On breakdown x and r are untouched, mirroring
+/// the unfused code path that checked pq before updating.
+[[nodiscard]] inline DotAxpyResult dot_axpy(std::span<const double> p,
+                                            std::span<const double> q,
+                                            double rho, std::span<double> x,
+                                            std::span<double> r) {
+  require(p.size() == q.size() && p.size() == x.size() && p.size() == r.size(),
+          "dot_axpy: size mismatch");
+  const auto n = static_cast<index_t>(p.size());
+  DotAxpyResult res;
+  detail::count_passes(1);
+  res.pq = detail::deterministic_reduce_sum(
+      n, [&](index_t i) { return p[i] * q[i]; });
+  if (res.pq == 0.0 || !std::isfinite(res.pq)) return res;
+  res.alpha = rho / res.pq;
+  const double alpha = res.alpha;
+  const double nalpha = -alpha;  // exact negation: r[i] += (-alpha)*q[i]
+  detail::count_passes(1);
+  res.rr = detail::deterministic_reduce_sum(n, [&](index_t i) {
+    x[i] += alpha * p[i];
+    r[i] += nalpha * q[i];
+    return r[i] * r[i];
+  });
+  res.updated = true;
+  return res;
+}
+
+/// y += alpha·x fused with ||y||₂ of the updated y. One sweep instead of
+/// axpy + norm2.
+[[nodiscard]] inline double axpy_norm2(double alpha, std::span<const double> x,
+                                       std::span<double> y) {
+  require(x.size() == y.size(), "axpy_norm2: size mismatch");
+  detail::count_passes(1);
+  return std::sqrt(detail::deterministic_reduce_sum(
+      static_cast<index_t>(x.size()), [&](index_t i) {
+        y[i] += alpha * x[i];
+        return y[i] * y[i];
+      }));
+}
+
+/// w := x + alpha·y fused with wᵀz of the result. `z` may alias `w` (the
+/// waxpy_norm2 wrapper relies on it: each element is written before it is
+/// read back). One sweep instead of waxpy + dot.
+[[nodiscard]] inline double waxpy_dot(std::span<const double> x, double alpha,
+                                      std::span<const double> y,
+                                      std::span<double> w,
+                                      std::span<const double> z) {
+  require(x.size() == y.size() && x.size() == w.size() && x.size() == z.size(),
+          "waxpy_dot: size mismatch");
+  detail::count_passes(1);
+  return detail::deterministic_reduce_sum(
+      static_cast<index_t>(x.size()), [&](index_t i) {
+        w[i] = x[i] + alpha * y[i];
+        return w[i] * z[i];
+      });
+}
+
+/// w := x + alpha·y fused with ||w||₂ (BiCGStab's s- and r-updates).
+[[nodiscard]] inline double waxpy_norm2(std::span<const double> x, double alpha,
+                                        std::span<const double> y,
+                                        std::span<double> w) {
+  return std::sqrt(waxpy_dot(x, alpha, y, w, w));
+}
+
+/// Two dot products sharing the left operand — xᵀy and xᵀz in one sweep.
+/// Each result is accumulated in its own partial chain with exactly dot()'s
+/// partition and order, so both match the two-call form bit-for-bit.
+[[nodiscard]] inline std::pair<double, double> dot2(std::span<const double> x,
+                                                    std::span<const double> y,
+                                                    std::span<const double> z) {
+  require(x.size() == y.size() && x.size() == z.size(), "dot2: size mismatch");
+  const auto n = static_cast<index_t>(x.size());
+  detail::count_passes(1);
+  if (n <= detail::kReductionBlockElems) {
+    double a = 0.0, b = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      a += x[i] * y[i];
+      b += x[i] * z[i];
+    }
+    return {a, b};
+  }
+  const int blocks = static_cast<int>((n + detail::kReductionBlockElems - 1) /
+                                      detail::kReductionBlockElems);
+  const Partitioner part(n, blocks);
+  std::vector<double> pa(static_cast<std::size_t>(blocks), 0.0);
+  std::vector<double> pb(static_cast<std::size_t>(blocks), 0.0);
+  parallel_for(0, blocks, [&](index_t blk) {
+    const int k = static_cast<int>(blk);
+    const index_t begin = part.offset(k);
+    const index_t end = begin + part.local_size(k);
+    double a = 0.0, b = 0.0;
+    for (index_t i = begin; i < end; ++i) {
+      a += x[i] * y[i];
+      b += x[i] * z[i];
+    }
+    pa[static_cast<std::size_t>(blk)] = a;
+    pb[static_cast<std::size_t>(blk)] = b;
+  });
+  double a = 0.0, b = 0.0;
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    a += pa[k];
+    b += pb[k];
+  }
+  return {a, b};
+}
+
+/// z += alpha·x + beta·y with the association of the two-call form
+/// axpy(alpha,x,z); axpy(beta,y,z): each element is (z + alpha·x) + beta·y.
+inline void axpy2(double alpha, std::span<const double> x, double beta,
+                  std::span<const double> y, std::span<double> z) {
+  require(x.size() == y.size() && x.size() == z.size(), "axpy2: size mismatch");
+  detail::count_passes(1);
+  parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) {
+    const double t = z[i] + alpha * x[i];
+    z[i] = t + beta * y[i];
+  });
+}
+
+/// axpy2 fused with ||z||₂ of the result (MINRES's Lanczos update
+/// v_new −= alpha·v + beta·v_old followed by norm2).
+[[nodiscard]] inline double axpy2_norm2(double alpha, std::span<const double> x,
+                                        double beta, std::span<const double> y,
+                                        std::span<double> z) {
+  require(x.size() == y.size() && x.size() == z.size(),
+          "axpy2_norm2: size mismatch");
+  detail::count_passes(1);
+  return std::sqrt(detail::deterministic_reduce_sum(
+      static_cast<index_t>(x.size()), [&](index_t i) {
+        const double t = z[i] + alpha * x[i];
+        const double t2 = t + beta * y[i];
+        z[i] = t2;
+        return t2 * t2;
+      }));
+}
+
+/// w := ((v + alpha·x) + beta·y) · s — MINRES's direction update
+/// d_new = (v − rho3·d_old − rho2·d)/rho1 in one sweep instead of
+/// copy + axpy + axpy + scale (pass s = 1/rho1, matching scale()'s
+/// multiply-by-reciprocal).
+inline void waxpy2_scale(std::span<const double> v, double alpha,
+                         std::span<const double> x, double beta,
+                         std::span<const double> y, double s,
+                         std::span<double> w) {
+  require(v.size() == x.size() && v.size() == y.size() && v.size() == w.size(),
+          "waxpy2_scale: size mismatch");
+  detail::count_passes(1);
+  parallel_for(0, static_cast<index_t>(v.size()), [&](index_t i) {
+    const double t = v[i] + alpha * x[i];
+    w[i] = (t + beta * y[i]) * s;
+  });
+}
+
+/// x += d ⊙ r (elementwise-scaled update; Jacobi's x += D⁻¹·r).
+inline void diag_axpy(std::span<const double> d, std::span<const double> r,
+                      std::span<double> x) {
+  require(d.size() == r.size() && d.size() == x.size(),
+          "diag_axpy: size mismatch");
+  detail::count_passes(1);
+  parallel_for(0, static_cast<index_t>(d.size()),
+               [&](index_t i) { x[i] += d[i] * r[i]; });
+}
+
+/// p := r + beta·(p + alpha·v) with the association of
+/// axpy(alpha,v,p); xpby(r,beta,p) — BiCGStab's direction update
+/// p = r + beta·(p − omega·v) in one sweep instead of two.
+inline void axpy_xpby(double alpha, std::span<const double> v,
+                      std::span<const double> r, double beta,
+                      std::span<double> p) {
+  require(v.size() == r.size() && v.size() == p.size(),
+          "axpy_xpby: size mismatch");
+  detail::count_passes(1);
+  parallel_for(0, static_cast<index_t>(v.size()), [&](index_t i) {
+    const double t = p[i] + alpha * v[i];
+    p[i] = r[i] + beta * t;
+  });
 }
 
 }  // namespace lck
