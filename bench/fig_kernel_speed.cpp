@@ -12,13 +12,12 @@
 /// of its unfused pair (the CI gate).
 
 #include <cstdio>
-#include <ctime>
-#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "compress/compressor.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lossless/byte_codecs.hpp"
@@ -34,23 +33,8 @@ volatile double g_sink = 0.0;
 /// Keep a computed value live so the compiler cannot elide the timed work.
 void sink(double v) { g_sink = v; }
 
-double cpu_seconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
-}
-
-/// Best-of-`trials` CPU time for `reps` calls of f.
-template <typename F>
-double time_cpu(F&& f, int reps, int trials) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int t = 0; t < trials; ++t) {
-    const double t0 = cpu_seconds();
-    for (int r = 0; r < reps; ++r) f();
-    best = std::min(best, cpu_seconds() - t0);
-  }
-  return best;
-}
+// CPU timing comes from common/timer.hpp (lck::time_cpu / lck::CpuTimer) —
+// the shared best-of-trials process-CPU-time primitive.
 
 Vector random_vector(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);

@@ -5,12 +5,20 @@
 ///
 ///   build/examples/custom_matrix [matrix.mtx] [--policy fixed|young|adaptive]
 ///                                [--delta <chain-len>]
+///                                [--trace <path>] [--metrics <path>]
+///
+/// --trace writes the run's checkpoint-lifecycle spans as Chrome
+/// trace_event JSON (open in Perfetto); --metrics dumps the
+/// MetricsSnapshot of the run as JSON.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "bench_common.hpp"
 #include "core/resilient_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/perf_model.hpp"
 #include "solvers/gmres.hpp"
 #include "sparse/gen/kkt.hpp"
@@ -21,15 +29,22 @@ int main(int argc, char** argv) {
 
   std::string mtx_path;
   std::string policy = "fixed";
+  std::string trace_path;
+  std::string metrics_path;
   int delta_chain = 0;
   bench::CliParser cli(
       argc, argv,
-      "[matrix.mtx] [--policy fixed|young|adaptive] [--delta <chain-len>]");
+      "[matrix.mtx] [--policy fixed|young|adaptive] [--delta <chain-len>] "
+      "[--trace <path>] [--metrics <path>]");
   while (cli.more()) {
     if (cli.match("--policy"))
       policy = cli.value();
     else if (cli.match("--delta"))
       delta_chain = static_cast<int>(cli.number(0));
+    else if (cli.match("--trace"))
+      trace_path = cli.value();
+    else if (cli.match("--metrics"))
+      metrics_path = cli.value();
     else if (cli.positional())
       mtx_path = cli.take();
     else
@@ -76,9 +91,26 @@ int main(int argc, char** argv) {
   cfg.delta.max_delta_chain = delta_chain;
   cfg.dynamic_scale = 1.0;
   cfg.static_bytes = static_cast<double>(a.nnz()) * 12.0;
+  cfg.obs.trace = !trace_path.empty();
+  cfg.obs.metrics = !metrics_path.empty();
 
   ResilientRunner runner(solver, cfg);
   const auto res = runner.run();
+
+  if (!trace_path.empty()) {
+    runner.trace()->write_chrome_trace(trace_path, /*pid=*/1, "custom_matrix");
+    std::printf("wrote Chrome trace to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream f(metrics_path, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "cannot open --metrics path %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    f << runner.metrics()->snapshot().to_json() << "\n";
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
 
   std::printf("\nConverged: %s after %lld iterations "
               "(%lld steps executed, %d failures survived, %d checkpoints, "

@@ -4,34 +4,52 @@
 ///
 ///   build/examples/resilient_solve [method] [--policy fixed|young|adaptive]
 ///                                  [--delta <chain-len>]
+///                                  [--trace <path>] [--metrics <path>]
 ///   (method: jacobi | cg | gmres | bicgstab; --delta enables chunked delta
 ///    checkpointing with at most <chain-len> deltas per full checkpoint)
 ///
 /// Prints, per scheme: total virtual wall-clock, failures survived,
 /// checkpoints taken, mean checkpoint size/time, and the fault-tolerance
 /// overhead relative to the failure-free baseline.
+///
+/// --trace merges every scheme x mode run into one Chrome trace_event file
+/// (one pid per run; open in Perfetto). --metrics writes one JSON object
+/// keyed "<scheme>-<mode>" per run, each value a MetricsSnapshot.
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/resilient_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/perf_model.hpp"
 
 int main(int argc, char** argv) {
   using namespace lck;
   std::string method = "cg";
   std::string policy = "fixed";
+  std::string trace_path;
+  std::string metrics_path;
   int delta_chain = 0;
   bench::CliParser cli(
       argc, argv,
-      "[method] [--policy fixed|young|adaptive] [--delta <chain-len>]");
+      "[method] [--policy fixed|young|adaptive] [--delta <chain-len>] "
+      "[--trace <path>] [--metrics <path>]");
   while (cli.more()) {
     if (cli.match("--policy"))
       policy = cli.value();
     else if (cli.match("--delta"))
       delta_chain = static_cast<int>(cli.number(0));
+    else if (cli.match("--trace"))
+      trace_path = cli.value();
+    else if (cli.match("--metrics"))
+      metrics_path = cli.value();
     else if (cli.positional())
       method = cli.take();
     else
@@ -58,6 +76,10 @@ int main(int argc, char** argv) {
   std::printf("%-13s %-6s %-10s %-7s %-7s %-11s %-11s %-9s %-11s\n",
               "scheme", "mode", "total(s)", "fails", "ckpts", "ckpt MB",
               "blk ckpt s", "drain s", "overhead");
+  // Per-run observability output, collected across the scheme x mode grid.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> traces;
+  std::vector<std::string> run_names;
+  std::vector<std::string> metrics_json;
   for (const CkptScheme scheme :
        {CkptScheme::kTraditional, CkptScheme::kLossless, CkptScheme::kLossy}) {
     for (const CkptMode mode :
@@ -84,9 +106,20 @@ int main(int argc, char** argv) {
       // Chunked delta checkpointing: unchanged chunks between consecutive
       // checkpoints become references (lck.hpp re-exports DeltaConfig).
       cfg.delta.max_delta_chain = delta_chain;
+      cfg.obs.trace = !trace_path.empty();
+      cfg.obs.metrics = !metrics_path.empty();
 
       ResilientRunner runner(*solver, cfg);
       const auto res = runner.run();
+      if (cfg.obs.any()) {
+        std::string run = to_string(scheme);
+        run += '-';
+        run += to_string(mode);
+        run_names.push_back(run);
+        if (cfg.obs.metrics)
+          metrics_json.push_back(runner.metrics()->snapshot().to_json());
+        if (cfg.obs.trace) traces.push_back(runner.take_trace());
+      }
       std::printf(
           "%-13s %-6s %-10.0f %-7d %-7d %-11.1f %-11.1f %-9.1f %9.1f%%\n",
           to_string(scheme), to_string(mode), res.virtual_seconds,
@@ -109,5 +142,33 @@ int main(int argc, char** argv) {
       "in the background; failures carry a severity and recover from the "
       "cheapest surviving tier, so the common process/node failures skip "
       "the PFS read entirely.\n");
+
+  if (!trace_path.empty()) {
+    std::vector<obs::TraceProcess> processes;
+    for (std::size_t i = 0; i < traces.size(); ++i)
+      processes.push_back({traces[i].get(), run_names[i]});
+    obs::write_chrome_trace(trace_path, processes);
+    std::printf("\nwrote Chrome trace (%zu runs) to %s\n", traces.size(),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream f(metrics_path, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "cannot open --metrics path %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    f << "{\n";
+    for (std::size_t i = 0; i < metrics_json.size(); ++i)
+      f << "\"" << run_names[i] << "\": " << metrics_json[i]
+        << (i + 1 < metrics_json.size() ? ",\n" : "\n");
+    f << "}\n";
+    if (!f) {
+      std::fprintf(stderr, "short write to %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics for %zu runs to %s\n", metrics_json.size(),
+                metrics_path.c_str());
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "common/byte_buffer.hpp"
 #include "common/crc32.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace lck {
 namespace {
@@ -52,6 +53,22 @@ void verify_ref_hash(const Compressor& comp, std::span<const double> slice,
         "recover: delta reference resolved to mismatched content for "
         "variable " +
         var_name);
+}
+
+/// Per-codec compression observability: real seconds and achieved ratio,
+/// labeled by the effective compressor name (so a block-pipeline wrapper
+/// shows up as "block+<codec>").
+void observe_compress(obs::Sink sink, const Compressor& comp,
+                      std::size_t raw_bytes, std::size_t stored_bytes,
+                      double seconds) {
+  if (sink.metrics == nullptr) return;
+  sink.metrics->observe("compress.seconds", seconds,
+                        {{"codec", comp.name()}});
+  if (stored_bytes > 0)
+    sink.metrics->observe("compress.ratio",
+                          static_cast<double>(raw_bytes) /
+                              static_cast<double>(stored_bytes),
+                          {{"codec", comp.name()}});
 }
 
 }  // namespace
@@ -110,6 +127,11 @@ void CheckpointManager::protect_blob(int id, std::string name,
 
 void CheckpointManager::unprotect(int id) { entries_.erase(id); }
 
+void CheckpointManager::set_observability(obs::Sink sink) {
+  sink_ = sink;
+  store_->set_observability(sink);
+}
+
 CheckpointRecord CheckpointManager::build_stream(
     const std::vector<VarView>& vars, int version,
     std::vector<byte_t>& bytes) const {
@@ -165,7 +187,10 @@ CheckpointRecord CheckpointManager::build_stream(
         out.put_bytes(header.view());
         out.put_bytes(raw);
       } else {
+        const WallTimer comp_timer;
         const auto payload = comp->compress(vec);
+        observe_compress(sink_, *comp, vec.size() * sizeof(double),
+                         payload.size(), comp_timer.seconds());
         rec.per_var_bytes[*var.name] = payload.size();
         out.put(static_cast<std::uint64_t>(payload.size()));
         out.put(crc32(payload));
@@ -194,7 +219,7 @@ CheckpointRecord CheckpointManager::build_frame_stream(
   CheckpointRecord rec;
   rec.version = version;
 
-  FrameWriter out(sink, streaming_);
+  FrameWriter out(sink, streaming_, sink_);
   out.put(kVersion);
   out.put(static_cast<std::uint32_t>(vars.size()));
 
@@ -236,13 +261,19 @@ CheckpointRecord CheckpointManager::build_frame_stream(
         const ChunkGeometry geo(vec.size(), chunk_elems);
         out.put(static_cast<std::uint64_t>(geo.chunk_elems));
         std::size_t var_bytes = 0;
+        const WallTimer comp_timer;
+        double comp_seconds = 0.0;
         for (std::size_t c = 0; c < geo.count(); ++c) {
+          const double before = comp_timer.seconds();
           const auto payload =
               comp->compress({vec.data() + geo.begin(c), geo.length(c)});
+          comp_seconds += comp_timer.seconds() - before;
           out.put(static_cast<std::uint64_t>(payload.size()));
           out.put_bytes(payload);
           var_bytes += payload.size();
         }
+        observe_compress(sink_, *comp, vec.size() * sizeof(double), var_bytes,
+                         comp_seconds);
         rec.per_var_bytes[*var.name] = var_bytes;
       }
     } else {
@@ -293,9 +324,13 @@ CheckpointRecord CheckpointManager::build_delta_stream(
       const std::vector<std::uint64_t>* base_hashes =
           base != nullptr ? base->hashes_for(var.id, comp_name) : nullptr;
       std::vector<std::uint64_t> hashes;
+      const WallTimer comp_timer;
       const ChunkEncodeStats stats =
           encode_chunked_vector(out, *var.vec, *var.compressor,
                                 delta_chunk_elems_, base_hashes, hashes);
+      observe_compress(sink_, *var.compressor,
+                       var.vec->size() * sizeof(double), stats.literal_bytes,
+                       comp_timer.seconds());
       state->vars.push_back({var.id, comp_name, std::move(hashes)});
       rec.raw_bytes += var.vec->size() * sizeof(double);
       rec.chunks += stats.chunks;
@@ -489,6 +524,11 @@ StageTicket CheckpointManager::stage() {
     throw;
   }
   ticket.stage_seconds = timer.seconds();
+  if (sink_.metrics != nullptr) {
+    sink_.metrics->observe("ckpt.stage_copy_seconds", ticket.stage_seconds);
+    sink_.metrics->observe("ckpt.stage_raw_bytes",
+                           static_cast<double>(ticket.raw_bytes));
+  }
 
   const int version = ticket.version;
   // The delta base is decided here, on the owner thread, so the background
@@ -499,6 +539,7 @@ StageTicket CheckpointManager::stage() {
   std::shared_ptr<const ChunkBaseState> base;
   if (delta) base = pick_delta_base();
   auto drain = [this, version, slot_idx, delta, streaming, base] {
+    const WallTimer job_timer;  // Runs on the writer thread; registry shards.
     std::vector<byte_t> bytes;
     std::unique_ptr<ByteSink> sink;
     CheckpointRecord rec;
@@ -547,6 +588,8 @@ StageTicket CheckpointManager::stage() {
       sink->finish();
     else
       store_->write_pending(version, bytes);
+    if (sink_.metrics != nullptr)
+      sink_.metrics->observe("ckpt.drain_job_seconds", job_timer.seconds());
     return rec;
   };
   // Track the version before enqueueing so a failed submit can unwind
@@ -718,6 +761,9 @@ CheckpointRecord CheckpointManager::recover() {
     rec.per_var_bytes[name] = payload_size;
   }
   rec.compress_seconds = timer.seconds();
+  if (sink_.metrics != nullptr)
+    sink_.metrics->observe("ckpt.recover_seconds", rec.compress_seconds,
+                           {{"format", "legacy"}});
   recovery_pending_ = false;
   return rec;
 }
@@ -803,6 +849,9 @@ CheckpointRecord CheckpointManager::recover_frame_stream(int version,
   in.expect_end();
   rec.stored_bytes = in.stream_bytes() + 4;  // + the magic recover() peeked
   rec.compress_seconds = timer.seconds();
+  if (sink_.metrics != nullptr)
+    sink_.metrics->observe("ckpt.recover_seconds", rec.compress_seconds,
+                           {{"format", "framed"}});
   recovery_pending_ = false;
   return rec;
 }
@@ -932,6 +981,9 @@ CheckpointRecord CheckpointManager::recover_delta(
         " (base checkpoint pruned or invalidated?)");
 
   rec.compress_seconds = timer.seconds();
+  if (sink_.metrics != nullptr)
+    sink_.metrics->observe("ckpt.recover_seconds", rec.compress_seconds,
+                           {{"format", "delta"}});
   recovery_pending_ = false;
   return rec;
 }

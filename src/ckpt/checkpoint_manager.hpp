@@ -34,6 +34,7 @@
 #include "ckpt/frame_stream.hpp"
 #include "compress/block_compressor.hpp"
 #include "compress/compressor.hpp"
+#include "obs/observability.hpp"
 #include "sparse/vector_ops.hpp"
 
 namespace lck {
@@ -213,6 +214,12 @@ class CheckpointManager {
 
   [[nodiscard]] const CheckpointStore& store() const { return *store_; }
 
+  /// Attach (or detach, with a null sink) the observability handles. The
+  /// sink is forwarded to the store hierarchy and the async writer; the
+  /// pointed-to registry/recorder must outlive the manager or be detached
+  /// before they die. Must not change while a drain is in flight.
+  void set_observability(obs::Sink sink);
+
  private:
   struct Entry {
     std::string name;
@@ -309,6 +316,7 @@ class CheckpointManager {
   int prune_floor_ = 0;  ///< Versions below this are already pruned.
   std::size_t block_elems_ = BlockCompressor::kDefaultBlockElems;
   StreamingConfig streaming_{};  ///< Framed serializer knobs (default on).
+  obs::Sink sink_{};  ///< Observability handles (both null => off).
   bool recovery_pending_ = false;
 
   // Delta (chunked) checkpointing state. All owner-thread, except

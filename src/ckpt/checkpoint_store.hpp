@@ -20,6 +20,7 @@
 
 #include "common/byte_stream.hpp"
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 
 namespace lck {
 
@@ -64,6 +65,11 @@ class CheckpointStore {
   /// Default materializes read(); DiskStore overrides with file streaming.
   [[nodiscard]] virtual std::unique_ptr<ByteSource> open_read(
       int version) const;
+
+  /// Attach observability handles. Default no-op; instrumented backends
+  /// (TieredCheckpointStore, DedupChunkStore) override and forward to any
+  /// stores they compose. Passing a default-constructed sink detaches.
+  virtual void set_observability(obs::Sink /*sink*/) {}
 
  private:
   mutable std::mutex pending_mu_;

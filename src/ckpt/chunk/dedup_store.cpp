@@ -9,6 +9,7 @@
 #include "ckpt/chunk/chunk_hash.hpp"
 #include "common/byte_buffer.hpp"
 #include "common/file_io.hpp"
+#include "obs/metrics.hpp"
 
 namespace lck {
 
@@ -50,6 +51,12 @@ void DedupChunkStore::add_chunk_ref(std::uint64_t hash,
     ++it->second.refs;
     ++hits_;
     bytes_saved_ += payload.size();
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->add("chunk.hits", 1.0);
+      obs_.metrics->add("chunk.bytes_saved",
+                        static_cast<double>(payload.size()));
+      obs_.metrics->add("chunk.ref_acquires", 1.0);
+    }
     return;
   }
   Chunk c;
@@ -60,11 +67,18 @@ void DedupChunkStore::add_chunk_ref(std::uint64_t hash,
   else
     atomic_write_file(chunk_path(hash), payload);
   chunks_.emplace(hash, std::move(c));
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->add("chunk.misses", 1.0);
+    obs_.metrics->add("chunk.ref_acquires", 1.0);
+    obs_.metrics->observe("chunk.stored_bytes",
+                          static_cast<double>(payload.size()));
+  }
 }
 
 void DedupChunkStore::drop_chunk_ref(std::uint64_t hash) {
   const auto it = chunks_.find(hash);
   if (it == chunks_.end()) return;
+  if (obs_.metrics != nullptr) obs_.metrics->add("chunk.ref_releases", 1.0);
   if (--it->second.refs <= 0) {
     if (!dir_.empty()) {
       std::error_code ec;

@@ -56,6 +56,10 @@ class DedupChunkStore final : public CheckpointStore {
     return bytes_saved_;
   }
 
+  /// Attach observability handles: records chunk hit/miss counters, bytes
+  /// saved, and refcount churn into the registry (chunk.* series).
+  void set_observability(obs::Sink sink) override { obs_ = sink; }
+
  private:
   struct Part {
     bool is_chunk = false;
@@ -92,6 +96,7 @@ class DedupChunkStore final : public CheckpointStore {
   std::set<int> legacy_versions_;
   std::size_t hits_ = 0;
   std::size_t bytes_saved_ = 0;
+  obs::Sink obs_{};  ///< Observability handles (both null => off).
 };
 
 }  // namespace lck

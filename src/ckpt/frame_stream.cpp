@@ -6,6 +6,7 @@
 #include "common/crc32.hpp"
 #include "compress/lossless/deflate_like.hpp"
 #include "compress/lossless/lz4_like.hpp"
+#include "obs/metrics.hpp"
 
 namespace lck {
 namespace {
@@ -66,11 +67,13 @@ void StreamingConfig::validate() const {
   if (!errors.empty()) throw config_error("bad streaming config: " + errors);
 }
 
-FrameWriter::FrameWriter(ByteSink& sink, const StreamingConfig& cfg)
+FrameWriter::FrameWriter(ByteSink& sink, const StreamingConfig& cfg,
+                         obs::Sink obs)
     : sink_(sink),
       style_(frame_style_from_name(cfg.style)),
       frame_bytes_(cfg.frame_bytes()),
-      wbuf_limit_(cfg.wbuf_bytes) {
+      wbuf_limit_(cfg.wbuf_bytes),
+      obs_(obs) {
   cfg.validate();
   raw_.reserve(frame_bytes_);
   wbuf_.reserve(wbuf_limit_);
@@ -128,6 +131,15 @@ void FrameWriter::flush_frame() {
                               kFrameHeaderBytes);
   emit(header);
   emit(payload);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->add("frame.frames", 1.0,
+                      {{"style", frame_style_name(style)}});
+    obs_.metrics->observe("frame.stored_bytes",
+                          static_cast<double>(payload.size()));
+    obs_.metrics->observe("frame.comp_ratio",
+                          static_cast<double>(raw_.size()) /
+                              static_cast<double>(payload.size()));
+  }
   raw_.clear();
   comp_.clear();
 }

@@ -37,6 +37,7 @@
 
 #include "common/byte_stream.hpp"
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 
 namespace lck {
 
@@ -90,7 +91,10 @@ struct StreamingConfig {
 /// stream, which is the correct crash semantic).
 class FrameWriter {
  public:
-  FrameWriter(ByteSink& sink, const StreamingConfig& cfg);
+  /// `obs`: optional metrics handle; when its registry is non-null each
+  /// flushed frame records its size and compression ratio (frame.* series).
+  FrameWriter(ByteSink& sink, const StreamingConfig& cfg,
+              obs::Sink obs = {});
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
@@ -129,6 +133,7 @@ class FrameWriter {
   FrameStyle style_;
   std::size_t frame_bytes_;
   std::size_t wbuf_limit_;
+  obs::Sink obs_{};
   std::vector<byte_t> raw_;   // current frame under construction
   std::vector<byte_t> comp_;  // per-frame compression scratch
   std::vector<byte_t> wbuf_;  // coalescing buffer in front of the sink

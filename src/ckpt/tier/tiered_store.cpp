@@ -7,6 +7,7 @@
 #include "ckpt/chunk/chunk_codec.hpp"
 #include "ckpt/chunk/dedup_store.hpp"
 #include "ckpt/tier/partner_store.hpp"
+#include "obs/metrics.hpp"
 
 namespace lck {
 namespace {
@@ -59,6 +60,13 @@ void TieredCheckpointStore::write(int version, std::span<const byte_t> data) {
       levels_.front().store->write(version, data);
     }
     committed_.front().insert(version);
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->add("tier.writes", 1.0,
+                        {{"tier", levels_.front().spec.name}});
+      obs_.metrics->observe("tier.write_bytes",
+                            static_cast<double>(data.size()),
+                            {{"tier", levels_.front().spec.name}});
+    }
     prune_level_locked(0);
   }
   if (auto_promote_) schedule_promotions(version);
@@ -68,9 +76,21 @@ std::vector<byte_t> TieredCheckpointStore::read(int version) const {
   const std::lock_guard<std::mutex> lock(mu_);
   for (int lv = 0; lv < level_count(); ++lv)
     if (committed_at_locked(lv, version)) {
-      const std::lock_guard<std::mutex> ll(
-          *level_mu_[static_cast<std::size_t>(lv)]);
-      return levels_[static_cast<std::size_t>(lv)].store->read(version);
+      std::vector<byte_t> data;
+      {
+        const std::lock_guard<std::mutex> ll(
+            *level_mu_[static_cast<std::size_t>(lv)]);
+        data = levels_[static_cast<std::size_t>(lv)].store->read(version);
+      }
+      if (obs_.metrics != nullptr) {
+        const std::string& tier =
+            levels_[static_cast<std::size_t>(lv)].spec.name;
+        obs_.metrics->add("tier.reads", 1.0, {{"tier", tier}});
+        obs_.metrics->observe("tier.read_bytes",
+                              static_cast<double>(data.size()),
+                              {{"tier", tier}});
+      }
+      return data;
     }
   throw corrupt_stream_error("tiered store: no tier holds version " +
                              std::to_string(version));
@@ -134,6 +154,9 @@ void TieredCheckpointStore::commit(int version) {
       levels_.front().store->commit(version);
     }
     committed_.front().insert(version);
+    if (obs_.metrics != nullptr)
+      obs_.metrics->add("tier.writes", 1.0,
+                        {{"tier", levels_.front().spec.name}});
     prune_level_locked(0);
   }
   if (auto_promote_) schedule_promotions(version);
@@ -206,10 +229,17 @@ int TieredCheckpointStore::latest_version_at(int level) const {
 void TieredCheckpointStore::invalidate(FailureSeverity severity) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++epoch_;  // in-flight promotions must not republish destroyed data
+  if (obs_.metrics != nullptr)
+    obs_.metrics->add("tier.invalidations", 1.0,
+                      {{"severity", to_string(severity)}});
   for (std::size_t lv = 0; lv < levels_.size(); ++lv) {
     Level& level = levels_[lv];
     const std::lock_guard<std::mutex> ll(*level_mu_[lv]);
     if (severity > level.spec.survives) {
+      if (obs_.metrics != nullptr && !committed_[lv].empty())
+        obs_.metrics->add("tier.versions_destroyed",
+                          static_cast<double>(committed_[lv].size()),
+                          {{"tier", level.spec.name}});
       // Tier destroyed. Per-tier pruning keeps the backend in sync with
       // the committed set, so dropping the (<= retention-sized) set is the
       // whole job — except for a preloaded backend, whose pre-construction
@@ -328,6 +358,13 @@ bool TieredCheckpointStore::promote_locked(int version, int level,
     levels_[lv].store->write(version, data);
   }
   committed_[lv].insert(version);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->add("tier.promotes", 1.0,
+                      {{"tier", levels_[lv].spec.name}});
+    obs_.metrics->observe("tier.promote_bytes",
+                          static_cast<double>(data.size()),
+                          {{"tier", levels_[lv].spec.name}});
+  }
   prune_level_locked(level);
   return true;
 }
@@ -452,6 +489,15 @@ void TieredCheckpointStore::set_max_inflight_promotions(std::size_t n) {
     max_inflight_ = n;
   }
   promo_cv_.notify_all();
+}
+
+void TieredCheckpointStore::set_observability(obs::Sink sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  obs_ = sink;
+  for (std::size_t lv = 0; lv < levels_.size(); ++lv) {
+    const std::lock_guard<std::mutex> ll(*level_mu_[lv]);
+    levels_[lv].store->set_observability(sink);
+  }
 }
 
 std::size_t TieredCheckpointStore::failed_promotions() const {

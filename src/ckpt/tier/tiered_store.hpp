@@ -118,6 +118,11 @@ class TieredCheckpointStore final : public CheckpointStore {
   /// hold the version — and the error is counted rather than propagated.
   [[nodiscard]] std::size_t failed_promotions() const;
 
+  /// Attach observability handles; forwarded to every level backend (the
+  /// L3 DedupChunkStore records its own chunk metrics). Call before any
+  /// concurrent traffic, like the other configuration methods.
+  void set_observability(obs::Sink sink) override;
+
  private:
   [[nodiscard]] bool committed_at_locked(int level, int version) const;
   bool promote_locked(int version, int level, int depth = 0);
@@ -137,6 +142,7 @@ class TieredCheckpointStore final : public CheckpointStore {
 
   std::vector<Level> levels_;
   const bool auto_promote_;
+  obs::Sink obs_{};  ///< Observability handles (both null => off).
 
   /// Lock order: mu_ before any level mutex, never the reverse. mu_ guards
   /// the committed-version sets, the epoch and the promotion bookkeeping;

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "ckpt/tier/tiered_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pass_counter.hpp"
+#include "obs/trace.hpp"
 #include "sim/perf_model.hpp"
 
 namespace lck {
@@ -57,6 +60,11 @@ void ResilienceConfig::validate() const {
   // collected list so one throw still names every violation.
   try {
     streaming.validate();
+  } catch (const config_error& e) {
+    violation(e.what());
+  }
+  try {
+    obs.validate();
   } catch (const config_error& e) {
     violation(e.what());
   }
@@ -121,6 +129,22 @@ ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
     manager_->set_delta(cfg_.delta.max_delta_chain, cfg_.delta.chunk_elems);
   register_variables();
   policy_ = make_policy(cfg_.policy.name, make_policy_context());
+  if (cfg_.obs.metrics) metrics_ = std::make_unique<obs::MetricsRegistry>();
+  if (cfg_.obs.trace)
+    trace_ = std::make_unique<obs::TraceRecorder>(cfg_.obs.trace_max_events);
+  sink_ = {metrics_.get(), trace_.get()};
+  if (sink_.enabled()) manager_->set_observability(sink_);
+}
+
+ResilientRunner::~ResilientRunner() = default;
+
+std::unique_ptr<obs::TraceRecorder> ResilientRunner::take_trace() noexcept {
+  // The manager (and its async writer / stores) hold sink_ copies; tear the
+  // trace pointer out of them before moving ownership so no component can
+  // record into a recorder the caller may destroy.
+  sink_.trace = nullptr;
+  manager_->set_observability(sink_);
+  return std::move(trace_);
 }
 
 PolicyContext ResilientRunner::make_policy_context() const {
@@ -273,6 +297,19 @@ bool ResilientRunner::do_checkpoint() {
   ++result_.checkpoints;
   result_.ckpt_seconds_total += duration;
   committed_blocking_total_ += duration;
+  if (metrics_ != nullptr) {
+    metrics_->add("ckpt.committed", 1.0);
+    // Unlabeled series first: it accumulates the exact doubles (same values,
+    // same order) as ckpt_seconds_total, so tests can assert bitwise
+    // equality; the {kind=...} series is the per-cause breakdown.
+    metrics_->observe("ckpt.blocking_seconds", duration);
+    metrics_->observe("ckpt.blocking_seconds", duration, {{"kind", "sync"}});
+    metrics_->observe("ckpt.stored_bytes", stored_bytes_last_);
+  }
+  if (trace_ != nullptr)
+    trace_->complete("ckpt", "checkpoint", t_ - duration, t_,
+                     {obs::TraceArg::num("version", rec.version),
+                      obs::TraceArg::num("stored_bytes", stored_bytes_last_)});
   result_.mean_ckpt_stored_bytes += (stored_bytes_last_ -
                                      result_.mean_ckpt_stored_bytes) /
                                     result_.checkpoints;
@@ -294,6 +331,14 @@ void ResilientRunner::account_committed(const CheckpointRecord& rec) {
   else
     ++result_.full_checkpoints;
   result_.chunks_deduped += rec.chunks_deduped;
+  if (metrics_ != nullptr) {
+    if (rec.base_version >= 0)
+      metrics_->add("ckpt.delta_stored_bytes", stored_bytes_last_);
+    else
+      metrics_->add("ckpt.full_checkpoints", 1.0);
+    metrics_->add("ckpt.chunks_deduped",
+                  static_cast<double>(rec.chunks_deduped));
+  }
   // The codec's ratio is only observable on full checkpoints — a delta's
   // raw/stored quotient conflates chunk dedup with compression and would
   // credit the "none" codec with tens-of-x. Delta savings are reported
@@ -318,6 +363,10 @@ bool ResilientRunner::ensure_drain_record() {
     // running against the previous committed checkpoint.
     manager_->abort_version(pending_version_);
     ++result_.aborted_drains;
+    if (metrics_ != nullptr) metrics_->add("ckpt.aborted_drains", 1.0);
+    if (trace_ != nullptr)
+      trace_->instant("drain", "drain-error", t_,
+                      {obs::TraceArg::num("version", pending_version_)});
     pending_version_ = -1;
     pending_known_ = false;
     pending_blocking_ = 0.0;
@@ -370,6 +419,17 @@ void ResilientRunner::commit_pending(double overlapped_drain_seconds) {
                                      result_.mean_ckpt_stored_bytes) /
                                     result_.checkpoints;
   policy_->on_checkpoint_committed(pending_blocking_, stored_bytes_last_);
+  if (metrics_ != nullptr) {
+    metrics_->add("ckpt.committed", 1.0);
+    metrics_->observe("ckpt.drain_overlap_seconds", overlapped_drain_seconds);
+    metrics_->observe("ckpt.stored_bytes", stored_bytes_last_);
+  }
+  if (trace_ != nullptr)
+    trace_->complete(
+        "drain", "drain", drain_start_t_, drain_end_t_,
+        {obs::TraceArg::num("version", pending_version_),
+         obs::TraceArg::num("stored_bytes", stored_bytes_last_),
+         obs::TraceArg::num("overlap_seconds", overlapped_drain_seconds)});
   pending_version_ = -1;
   pending_known_ = false;
   pending_blocking_ = 0.0;
@@ -383,6 +443,10 @@ void ResilientRunner::settle_pending_at_failure() {
     // version is torn and recovery must use the previous committed one.
     manager_->abort_version(pending_version_);
     ++result_.aborted_drains;
+    if (metrics_ != nullptr) metrics_->add("ckpt.aborted_drains", 1.0);
+    if (trace_ != nullptr)
+      trace_->complete("drain", "drain-aborted", drain_start_t_, t_,
+                       {obs::TraceArg::num("version", pending_version_)});
     pending_version_ = -1;
     pending_known_ = false;
   } else {
@@ -428,6 +492,14 @@ bool ResilientRunner::do_stage() {
       result_.ckpt_seconds_total += wait;
       result_.backpressure_seconds_total += wait;
       pending_blocking_ += wait;  // charged to the drain being waited on
+      if (metrics_ != nullptr) {
+        metrics_->observe("ckpt.blocking_seconds", wait);
+        metrics_->observe("ckpt.blocking_seconds", wait,
+                          {{"kind", "backpressure"}});
+      }
+      if (trace_ != nullptr)
+        trace_->complete("ckpt", "backpressure", t_ - wait, t_,
+                         {obs::TraceArg::num("version", pending_version_)});
     }
     commit_pending(overlapped);
   }
@@ -442,6 +514,10 @@ bool ResilientRunner::do_stage() {
     // rolled back before it could ever become a recovery point.
     manager_->abort_version(ticket.version);
     ++result_.aborted_drains;
+    if (metrics_ != nullptr) metrics_->add("ckpt.aborted_drains", 1.0);
+    if (trace_ != nullptr)
+      trace_->instant("ckpt", "stage-torn", t_,
+                      {obs::TraceArg::num("version", ticket.version)});
     t_ = injector_.next_failure_time();
     handle_failure();
     return false;
@@ -450,6 +526,14 @@ bool ResilientRunner::do_stage() {
   t_ += stage_duration;
   last_ckpt_t_ = t_;
   result_.ckpt_seconds_total += stage_duration;
+  if (metrics_ != nullptr) {
+    metrics_->observe("ckpt.blocking_seconds", stage_duration);
+    metrics_->observe("ckpt.blocking_seconds", stage_duration,
+                      {{"kind", "stage"}});
+  }
+  if (trace_ != nullptr)
+    trace_->complete("ckpt", "stage", t_ - stage_duration, t_,
+                     {obs::TraceArg::num("version", ticket.version)});
   pending_version_ = ticket.version;
   pending_known_ = false;
   pending_blocking_ = stage_duration;
@@ -505,6 +589,16 @@ void ResilientRunner::apply_promotions(double now) {
     if (tiered_->promote_now(p.version, p.level)) {
       ++result_.promotions_completed;
       result_.promotion_seconds_total += p.cost;
+      const char* const tier = p.level == 1 ? "L2" : "L3";
+      if (metrics_ != nullptr) {
+        metrics_->add("tier.promotions_completed", 1.0, {{"tier", tier}});
+        metrics_->observe("tier.promotion_seconds", p.cost);
+        metrics_->observe("tier.promotion_seconds", p.cost, {{"tier", tier}});
+      }
+      if (trace_ != nullptr)
+        trace_->complete(p.level == 1 ? "promote-L2" : "promote-L3",
+                         "promote", p.done_t - p.cost, p.done_t,
+                         {obs::TraceArg::num("version", p.version)});
     }
   }
 }
@@ -569,6 +663,10 @@ double ResilientRunner::tiered_recovery_duration(int version, int level,
 void ResilientRunner::note_failure(FailureSeverity sev) {
   ++result_.failures;
   ++result_.failures_by_severity[severity_index(sev)];
+  if (metrics_ != nullptr)
+    metrics_->add("failures", 1.0, {{"severity", to_string(sev)}});
+  if (trace_ != nullptr)
+    trace_->instant("failures", to_string(sev), t_);
   policy_->on_failure(sev);
   if (tiered_ != nullptr) {
     // Copies whose virtual window closed before the failure are durable;
@@ -625,6 +723,22 @@ void ResilientRunner::handle_failure() {
     if (level >= 0 &&
         level < static_cast<int>(result_.recoveries_by_tier.size()))
       ++result_.recoveries_by_tier[static_cast<std::size_t>(level)];
+    if (metrics_ != nullptr) {
+      metrics_->observe("recovery.seconds", duration);
+      if (level >= 0)
+        metrics_->add("recovery.by_tier", 1.0,
+                      {{"tier", level == 0   ? "L1"
+                                : level == 1 ? "L2"
+                                             : "L3"}});
+    }
+    if (trace_ != nullptr) {
+      std::vector<obs::TraceArg> args{
+          obs::TraceArg::str("severity", to_string(worst))};
+      if (level >= 0)
+        args.push_back(obs::TraceArg::num("tier", level));
+      trace_->complete("recovery", "recovery", t_ - duration, t_,
+                       std::move(args));
+    }
 
     if (have_ckpt) {
       manager_->recover();
@@ -653,6 +767,10 @@ void ResilientRunner::handle_failure() {
 
 ResilienceResult ResilientRunner::run() {
   const bool staged = cfg_.ckpt_mode != CkptMode::kSync;
+  // Sampling basis for the solver.vector_passes counter: the pass counter
+  // is process-global, so per-step deltas (not absolute values) are what
+  // belongs to this run.
+  std::uint64_t passes_seen = obs::vector_passes();
   while (!solver_.converged() && result_.executed_steps < cfg_.max_steps) {
     // Failure strictly inside the next iteration's window?
     if (injector_.interrupts(t_, cfg_.iteration_seconds)) {
@@ -663,6 +781,16 @@ ResilienceResult ResilientRunner::run() {
     solver_.step();
     ++result_.executed_steps;
     t_ += cfg_.iteration_seconds;
+    if (metrics_ != nullptr) {
+      const std::uint64_t passes = obs::vector_passes();
+      metrics_->add("solver.vector_passes",
+                    static_cast<double>(passes - passes_seen));
+      passes_seen = passes;
+    }
+    if (trace_ != nullptr) {
+      trace_->complete("solver", "iter", t_ - cfg_.iteration_seconds, t_);
+      trace_->counter("residual", "residual", t_, solver_.residual_norm());
+    }
     policy_->on_iteration(t_);
 
     if (!solver_.converged() && policy_->should_checkpoint(t_, last_ckpt_t_)) {
@@ -686,6 +814,14 @@ ResilienceResult ResilientRunner::run() {
   if (result_.recoveries > 0)
     result_.mean_recovery_seconds =
         result_.recovery_seconds_total / result_.recoveries;
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("run.virtual_seconds", result_.virtual_seconds);
+    metrics_->set_gauge("run.converged", result_.converged ? 1.0 : 0.0);
+    metrics_->set_gauge("run.final_residual_norm",
+                        result_.final_residual_norm);
+    metrics_->set_gauge("run.policy_interval_final",
+                        result_.policy_interval_final);
+  }
   return result_;
 }
 

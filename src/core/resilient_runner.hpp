@@ -38,6 +38,7 @@
 #include "ckpt/checkpoint_manager.hpp"
 #include "common/severity.hpp"
 #include "core/ckpt_policy.hpp"
+#include "obs/observability.hpp"
 #include "sim/cluster_model.hpp"
 #include "sim/failure.hpp"
 #include "solvers/solver.hpp"
@@ -126,6 +127,11 @@ struct ResilienceConfig {
   /// Streaming framed serializer (ckpt/frame_stream.hpp): bounded-memory
   /// checkpoint writes/reads. On by default; delta mode takes precedence.
   StreamingConfig streaming{};
+  /// Observability gates (obs/observability.hpp). Both off by default: no
+  /// registry or recorder is allocated and every instrumentation site in
+  /// the checkpoint stack reduces to one null-pointer test. Enabling them
+  /// never changes simulation decisions — runs stay bit-stable.
+  obs::ObservabilityConfig obs{};
 
   /// Virtual cost of one solver iteration at cluster scale (calibrated per
   /// method, e.g. GMRES ≈ 1.22 s at 2,048 ranks — paper §4.3).
@@ -233,6 +239,7 @@ struct ResilienceResult {
 class ResilientRunner {
  public:
   ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg);
+  ~ResilientRunner();
 
   /// Execute to convergence (or the step cap). May be called once.
   [[nodiscard]] ResilienceResult run();
@@ -241,6 +248,20 @@ class ResilientRunner {
   [[nodiscard]] const CheckpointPolicy& policy() const noexcept {
     return *policy_;
   }
+
+  /// The run's metrics registry, or nullptr when cfg.obs.metrics is off.
+  /// Snapshot it after run() for per-stage histograms and counters.
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_.get();
+  }
+  /// The run's trace recorder, or nullptr when cfg.obs.trace is off.
+  [[nodiscard]] obs::TraceRecorder* trace() const noexcept {
+    return trace_.get();
+  }
+  /// Transfer ownership of the trace recorder so callers can merge several
+  /// runs into one Chrome trace file after the runners are gone. Returns
+  /// null when tracing was off.
+  [[nodiscard]] std::unique_ptr<obs::TraceRecorder> take_trace() noexcept;
 
  private:
   void register_variables();
@@ -295,6 +316,11 @@ class ResilientRunner {
   IterativeSolver& solver_;
   ResilienceConfig cfg_;
   std::unique_ptr<CheckpointPolicy> policy_;
+  // Allocated only when cfg_.obs enables them; sink_ carries the borrowed
+  // pointers down the checkpoint stack.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  obs::Sink sink_{};
   std::unique_ptr<Compressor> compressor_;
   LossyCompressor* lossy_ = nullptr;  // non-null iff scheme == kLossy
   std::unique_ptr<CheckpointManager> manager_;

@@ -20,6 +20,9 @@
 ///                     PolicyConfig sub-structs)
 ///  - analysis:        the paper's perf_model formulas and the calibrated
 ///                     ClusterModel / experiment builders
+///  - observability:   ObservabilityConfig (ResilienceConfig::obs),
+///                     MetricsRegistry / MetricsSnapshot (JSON + Prometheus
+///                     text), TraceRecorder + write_chrome_trace (Perfetto)
 ///
 /// Headers outside this set (individual solver classes, compressor
 /// internals, tier stores) remain usable but are implementation surface and
@@ -31,11 +34,15 @@
 #include "ckpt/chunk/dedup_store.hpp"
 #include "ckpt/frame_stream.hpp"
 #include "common/severity.hpp"
+#include "common/timer.hpp"
 #include "common/types.hpp"
 #include "compress/compressor.hpp"
 #include "core/ckpt_policy.hpp"
 #include "core/experiment.hpp"
 #include "core/resilient_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace.hpp"
 #include "sim/cluster_model.hpp"
 #include "sim/failure.hpp"
 #include "sim/perf_model.hpp"

@@ -1,0 +1,363 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lck::obs {
+namespace {
+
+/// Bucket exponent for a histogram value: the smallest k with 2^k >= v.
+/// Values <= 0 (possible for deltas or degenerate timings) get a sentinel
+/// bucket below every real one so they still count toward quantiles.
+constexpr int kNonPositiveBucket = -1100;  // below 2^-1074 (min subnormal)
+
+int bucket_exponent(double v) noexcept {
+  if (!(v > 0.0)) return kNonPositiveBucket;
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  // m == 0.5 means v is exactly 2^(e-1): its own upper bound.
+  return m == 0.5 ? e - 1 : e;
+}
+
+double bucket_upper_bound(int e) noexcept {
+  if (e == kNonPositiveBucket) return 0.0;
+  return std::ldexp(1.0, e);
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string s{buf};
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos)
+    return "null";
+  return s;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string_view base_name(std::string_view full) noexcept {
+  const auto brace = full.find('{');
+  return brace == std::string_view::npos ? full : full.substr(0, brace);
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'.
+std::string prom_name(std::string_view name) {
+  std::string out{name};
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prom_labels(const std::string& full_name,
+                        const std::string& extra = {}) {
+  const auto brace = full_name.find('{');
+  std::string body;
+  if (brace != std::string::npos) {
+    // Re-render {k=v,...} as {k="v",...}.
+    std::string_view inner{full_name};
+    inner = inner.substr(brace + 1, full_name.size() - brace - 2);
+    while (!inner.empty()) {
+      const auto comma = inner.find(',');
+      const std::string_view kv = inner.substr(0, comma);
+      const auto eq = kv.find('=');
+      if (!body.empty()) body += ',';
+      body += std::string{kv.substr(0, eq)} + "=\"" +
+              std::string{eq == std::string_view::npos ? std::string_view{}
+                                                       : kv.substr(eq + 1)} +
+              "\"";
+      if (comma == std::string_view::npos) break;
+      inner = inner.substr(comma + 1);
+    }
+  }
+  if (!extra.empty()) {
+    if (!body.empty()) body += ',';
+    body += extra;
+  }
+  return body.empty() ? std::string{} : "{" + body + "}";
+}
+
+}  // namespace
+
+// ----- LabelSet -------------------------------------------------------------
+
+LabelSet::LabelSet(
+    std::initializer_list<std::pair<std::string, std::string>> kvs)
+    : items_(kvs) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               items_.end());
+}
+
+std::string LabelSet::suffix() const {
+  if (items_.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += items_[i].first;
+    out += '=';
+    out += items_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+// ----- HistogramSnapshot ----------------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  double lower = 0.0;  // lower edge of the current bucket
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto [upper, n] = buckets[i];
+    const double lo = i == 0 ? (upper > 0.0 ? upper / 2.0 : upper) : lower;
+    if (static_cast<double>(seen + n) >= target) {
+      const double frac =
+          n > 0 ? (target - static_cast<double>(seen)) / static_cast<double>(n)
+                : 0.0;
+      const double v = lo + frac * (upper - lo);
+      return std::clamp(v, min, max);
+    }
+    seen += n;
+    lower = upper;
+  }
+  return max;
+}
+
+// ----- MetricsSnapshot ------------------------------------------------------
+
+double MetricsSnapshot::counter(std::string_view full_name) const noexcept {
+  const auto it = counters.find(std::string{full_name});
+  return it != counters.end() ? it->second : 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view full_name) const noexcept {
+  const auto it = histograms.find(std::string{full_name});
+  return it != histograms.end() ? &it->second : nullptr;
+}
+
+double MetricsSnapshot::counter_total(std::string_view base) const noexcept {
+  double total = 0.0;
+  for (const auto& [name, v] : counters)
+    if (base_name(name) == base) total += v;
+  return total;
+}
+
+double MetricsSnapshot::hist_sum_total(std::string_view base) const noexcept {
+  double total = 0.0;
+  for (const auto& [name, h] : histograms)
+    if (base_name(name) == base) total += h.sum;
+  return total;
+}
+
+std::uint64_t MetricsSnapshot::hist_count_total(
+    std::string_view base) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, h] : histograms)
+    if (base_name(name) == base) total += h.count;
+  return total;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + fmt_double(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + fmt_double(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + fmt_double(h.sum) +
+           ", \"min\": " + fmt_double(h.min) +
+           ", \"max\": " + fmt_double(h.max) +
+           ", \"p50\": " + fmt_double(h.quantile(0.5)) +
+           ", \"p99\": " + fmt_double(h.quantile(0.99)) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "[" + fmt_double(h.buckets[i].first) + ", " +
+             std::to_string(h.buckets[i].second) + "]";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string base = prom_name(base_name(name));
+    out += "# TYPE " + base + " counter\n";
+    out += base + prom_labels(name) + " " + fmt_double(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string base = prom_name(base_name(name));
+    out += "# TYPE " + base + " gauge\n";
+    out += base + prom_labels(name) + " " + fmt_double(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string base = prom_name(base_name(name));
+    out += "# TYPE " + base + " histogram\n";
+    std::uint64_t cum = 0;
+    for (const auto& [upper, n] : h.buckets) {
+      cum += n;
+      out += base + "_bucket" +
+             prom_labels(name, "le=\"" + fmt_double(upper) + "\"") + " " +
+             std::to_string(cum) + "\n";
+    }
+    out += base + "_bucket" + prom_labels(name, "le=\"+Inf\"") + " " +
+           std::to_string(h.count) + "\n";
+    out += base + "_sum" + prom_labels(name) + " " + fmt_double(h.sum) + "\n";
+    out += base + "_count" + prom_labels(name) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+// ----- MetricsRegistry ------------------------------------------------------
+
+namespace {
+std::uint64_t next_registry_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
+  // Tiny per-thread cache: registry id -> shard owned by that registry.
+  // A linear scan beats a hash map at the 1-3 registries a thread ever
+  // sees, and keying by the process-unique id (not `this`) makes stale
+  // entries harmless rather than dangling.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [id, shard] : cache)
+    if (id == id_) return *shard;
+  const std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  cache.emplace_back(id_, shard);
+  return *shard;
+}
+
+void MetricsRegistry::add(std::string_view name, double delta,
+                          const LabelSet& labels) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  // transparent-comparator-free lookup: build the key once.
+  Cell& cell = shard.cells[Key{std::string{name}, labels}];
+  cell.has_counter = true;
+  cell.counter += delta;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              const LabelSet& labels) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  Cell& cell = shard.cells[Key{std::string{name}, labels}];
+  Hist& h = cell.hist;
+  if (!cell.has_hist) {
+    h.min = value;
+    h.max = value;
+    cell.has_hist = true;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[bucket_exponent(value)];
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value,
+                                const LabelSet& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauges_[Key{std::string{name}, labels}] = value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  // Collect shard pointers under mu_, then merge each under its own mutex.
+  std::vector<Shard*> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+    for (const auto& [key, v] : gauges_)
+      snap.gauges[key.first + key.second.suffix()] = v;
+  }
+  // Intermediate merge keyed by exponent so cross-shard buckets combine
+  // exactly; rendered to upper-bound doubles at the end.
+  std::map<std::string, std::map<int, std::uint64_t>> merged_buckets;
+  for (Shard* shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, cell] : shard->cells) {
+      const std::string full = key.first + key.second.suffix();
+      if (cell.has_counter) snap.counters[full] += cell.counter;
+      if (cell.has_hist) {
+        HistogramSnapshot& h = snap.histograms[full];
+        if (h.count == 0) {
+          h.min = cell.hist.min;
+          h.max = cell.hist.max;
+        } else {
+          h.min = std::min(h.min, cell.hist.min);
+          h.max = std::max(h.max, cell.hist.max);
+        }
+        h.count += cell.hist.count;
+        h.sum += cell.hist.sum;
+        auto& buckets = merged_buckets[full];
+        for (const auto& [e, n] : cell.hist.buckets) buckets[e] += n;
+      }
+    }
+  }
+  for (auto& [full, buckets] : merged_buckets) {
+    auto& out = snap.histograms[full].buckets;
+    out.reserve(buckets.size());
+    for (const auto& [e, n] : buckets)
+      out.emplace_back(bucket_upper_bound(e), n);
+  }
+  return snap;
+}
+
+}  // namespace lck::obs

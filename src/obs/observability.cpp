@@ -1,0 +1,12 @@
+#include "obs/observability.hpp"
+
+#include "common/types.hpp"
+
+namespace lck::obs {
+
+void ObservabilityConfig::validate() const {
+  if (trace_max_events < 1)
+    throw config_error("obs.trace_max_events must be >= 1");
+}
+
+}  // namespace lck::obs

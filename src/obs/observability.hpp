@@ -1,0 +1,58 @@
+#pragma once
+/// \file observability.hpp
+/// \brief ObservabilityConfig (the validated runtime gate) and obs::Sink
+///        (the nullable handle instrumented code records through).
+///
+/// This header is deliberately lightweight — it forward-declares the
+/// registry and recorder so hot headers (resilient_runner.hpp, the ckpt
+/// layer) can carry a Sink member without pulling in the metrics/trace
+/// implementation headers. Instrumentation sites include obs/metrics.hpp
+/// and obs/trace.hpp from their .cpp files only.
+///
+/// The zero-overhead-when-disabled contract: with `metrics` and `trace`
+/// both false (the default), the runner allocates neither object, every
+/// Sink stays {nullptr, nullptr}, and each instrumentation site is one
+/// pointer test. Spans observe, never branch — no simulation decision may
+/// read observability state, so enabling tracing cannot perturb bit-stable
+/// reruns (tests/test_obs.cpp proves streams and results stay
+/// byte-identical either way).
+
+#include <cstddef>
+
+namespace lck::obs {
+
+class MetricsRegistry;
+class TraceRecorder;
+
+/// Runtime gate for the observability subsystem, validated with the rest
+/// of ResilienceConfig.
+struct ObservabilityConfig {
+  /// Allocate a MetricsRegistry and record counters/histograms/gauges.
+  bool metrics = false;
+  /// Allocate a TraceRecorder and record checkpoint-lifecycle spans.
+  bool trace = false;
+  /// Trace buffer cap: events past this are counted as dropped, not kept
+  /// (a multi-hour run cannot eat the heap). Must be >= 1.
+  std::size_t trace_max_events = std::size_t{1} << 20;
+
+  [[nodiscard]] bool any() const noexcept { return metrics || trace; }
+
+  /// Throws config_error naming every violated constraint.
+  void validate() const;
+};
+
+/// Nullable recording handle passed down the checkpoint stack. Copyable,
+/// two pointers; both null means "off" and every recording site guards
+/// with one branch. The pointed-to objects are owned by the runner (or the
+/// embedding application) and must outlive every component holding the
+/// sink.
+struct Sink {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics != nullptr || trace != nullptr;
+  }
+};
+
+}  // namespace lck::obs

@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/types.hpp"
+
+namespace lck::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string s{buf};
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos)
+    return "0";
+  return s;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Virtual seconds -> trace_event microseconds.
+std::string micros(double seconds) { return fmt_double(seconds * 1e6); }
+
+}  // namespace
+
+TraceArg TraceArg::num(std::string key, double v) {
+  return {std::move(key), fmt_double(v), true};
+}
+
+TraceArg TraceArg::str(std::string key, std::string v) {
+  return {std::move(key), std::move(v), false};
+}
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint32_t TraceRecorder::track_id_locked(std::string_view track) {
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i)
+    if (tracks_[i] == track) return i;
+  tracks_.emplace_back(track);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void TraceRecorder::push_locked(TraceEvent ev) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  ev.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::complete(std::string_view track, std::string_view name,
+                             double t0, double t1,
+                             std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.name = name;
+  ev.ts_virtual = t0;
+  ev.dur_virtual = t1 - t0;
+  ev.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ev.track = track_id_locked(track);
+  push_locked(std::move(ev));
+}
+
+void TraceRecorder::instant(std::string_view track, std::string_view name,
+                            double t, std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.name = name;
+  ev.ts_virtual = t;
+  ev.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ev.track = track_id_locked(track);
+  push_locked(std::move(ev));
+}
+
+void TraceRecorder::counter(std::string_view track, std::string_view name,
+                            double t, double value) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kCounter;
+  ev.name = name;
+  ev.ts_virtual = t;
+  ev.value = value;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ev.track = track_id_locked(track);
+  push_locked(std::move(ev));
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<std::string> TraceRecorder::tracks() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tracks_;
+}
+
+void TraceRecorder::append_chrome_json(std::string& out, int pid,
+                                       const std::string& process_name) const {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> tracks;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    tracks = tracks_;
+  }
+  const std::string pid_s = std::to_string(pid);
+  const auto emit = [&out](const std::string& obj) {
+    if (!out.empty()) out += ",\n";
+    out += obj;
+  };
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid_s +
+       ",\"tid\":0,\"args\":{\"name\":\"" + json_escape(process_name) +
+       "\"}}");
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    const std::string tid = std::to_string(i + 1);
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid_s +
+         ",\"tid\":" + tid + ",\"args\":{\"name\":\"" +
+         json_escape(tracks[i]) + "\"}}");
+    emit("{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" + pid_s +
+         ",\"tid\":" + tid + ",\"args\":{\"sort_index\":" + tid + "}}");
+  }
+  for (const TraceEvent& ev : events) {
+    std::string obj = "{\"name\":\"" + json_escape(ev.name) + "\",\"ph\":\"";
+    obj += static_cast<char>(ev.phase);
+    obj += "\",\"pid\":" + pid_s +
+           ",\"tid\":" + std::to_string(ev.track + 1) +
+           ",\"ts\":" + micros(ev.ts_virtual);
+    if (ev.phase == TraceEvent::Phase::kComplete)
+      obj += ",\"dur\":" + micros(ev.dur_virtual);
+    if (ev.phase == TraceEvent::Phase::kInstant) obj += ",\"s\":\"t\"";
+    obj += ",\"args\":{";
+    if (ev.phase == TraceEvent::Phase::kCounter) {
+      obj += "\"value\":" + fmt_double(ev.value);
+    } else {
+      obj += "\"wall_ms\":" + fmt_double(ev.wall_ms);
+      for (const TraceArg& a : ev.args) {
+        obj += ",\"" + json_escape(a.key) + "\":";
+        if (a.is_number)
+          obj += a.value;
+        else
+          obj += "\"" + json_escape(a.value) + "\"";
+      }
+    }
+    obj += "}}";
+    emit(obj);
+  }
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path, int pid,
+                                       const std::string& process_name) const {
+  std::string body;
+  append_chrome_json(body, pid, process_name);
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw config_error("trace: cannot open output path");
+  f << "{\"traceEvents\":[\n" << body << "\n],\n"
+    << "\"displayTimeUnit\":\"ms\"}\n";
+  if (!f) throw config_error("trace: short write");
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceProcess>& processes) {
+  std::string body;
+  int pid = 1;
+  for (const TraceProcess& p : processes) {
+    if (p.recorder != nullptr)
+      p.recorder->append_chrome_json(body, pid, p.name);
+    ++pid;
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw config_error("trace: cannot open output path");
+  f << "{\"traceEvents\":[\n" << body << "\n],\n"
+    << "\"displayTimeUnit\":\"ms\",\n"
+    << "\"otherData\":{\"clock\":\"virtual\","
+    << "\"note\":\"ts/dur are simulator virtual microseconds; each event's "
+       "args.wall_ms is real host time\"}}\n";
+  if (!f) throw config_error("trace: short write");
+}
+
+}  // namespace lck::obs

@@ -1,0 +1,121 @@
+#pragma once
+/// \file trace.hpp
+/// \brief TraceRecorder: span-based tracing of the checkpoint lifecycle,
+///        exported as Chrome trace_event JSON (load in Perfetto or
+///        chrome://tracing).
+///
+/// The simulator's interesting timeline is *virtual*: iteration windows,
+/// staged drains, tiered promotions and recovery windows are all positions
+/// on the ResilientRunner's virtual clock, and their overlap is the whole
+/// point of the async/tiered modes. So event timestamps are virtual seconds
+/// (rendered as microseconds, the trace_event unit), and every event also
+/// carries the real wall-clock milliseconds since the recorder was created
+/// as a `wall_ms` argument — the dual timestamp that lets you correlate a
+/// virtual-time span with when the host actually produced it.
+///
+/// Tracks (named threads in the viewer) are free-form strings: the runner
+/// uses "solver", "ckpt", "drain", "promote-L2", "promote-L3", "recovery",
+/// "failures", "residual". Each distinct track becomes one tid with a
+/// thread_name metadata event, in first-use order (so sort_index keeps the
+/// display stable).
+///
+/// Recording is mutex-guarded (the async drain thread and the owner both
+/// record) and bounded: past `max_events` new events are counted as dropped
+/// instead of growing the buffer without bound.
+
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lck::obs {
+
+/// One key/value argument attached to a trace event. `is_number` selects
+/// bare JSON rendering; otherwise the value is quoted.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+
+  static TraceArg num(std::string key, double v);
+  static TraceArg str(std::string key, std::string v);
+};
+
+/// One recorded event, pre-serialization.
+struct TraceEvent {
+  enum class Phase : char {
+    kComplete = 'X',  ///< span: ts + dur
+    kInstant = 'i',   ///< point marker
+    kCounter = 'C',   ///< sampled value, rendered as a track graph
+  };
+  Phase phase = Phase::kComplete;
+  std::uint32_t track = 0;     ///< index into TraceRecorder::tracks()
+  std::string name;
+  double ts_virtual = 0.0;     ///< virtual seconds
+  double dur_virtual = 0.0;    ///< virtual seconds (kComplete only)
+  double wall_ms = 0.0;        ///< real ms since recorder construction
+  double value = 0.0;          ///< kCounter only
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t max_events = std::size_t{1} << 20);
+
+  /// Record a complete span [t0, t1] (virtual seconds) on `track`.
+  void complete(std::string_view track, std::string_view name, double t0,
+                double t1, std::vector<TraceArg> args = {});
+  /// Record an instant marker at virtual time `t`.
+  void instant(std::string_view track, std::string_view name, double t,
+               std::vector<TraceArg> args = {});
+  /// Record a counter sample (Perfetto renders the series as a graph).
+  void counter(std::string_view track, std::string_view name, double t,
+               double value);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Events rejected because the buffer was full.
+  [[nodiscard]] std::size_t dropped() const;
+  /// Snapshot of the event buffer (copy; safe while recording continues).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Track names in tid order.
+  [[nodiscard]] std::vector<std::string> tracks() const;
+
+  /// Append this recorder's events to `out` as trace_event JSON objects
+  /// (comma-separated, no enclosing array), under process id `pid` named
+  /// `process_name`. Tracks become tids 1..N with thread_name metadata.
+  void append_chrome_json(std::string& out, int pid,
+                          const std::string& process_name) const;
+
+  /// Write a complete single-process {"traceEvents": [...]} file.
+  void write_chrome_trace(const std::string& path, int pid = 1,
+                          const std::string& process_name = "lckpt") const;
+
+ private:
+  std::uint32_t track_id_locked(std::string_view track);
+  void push_locked(TraceEvent ev);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> tracks_;
+  std::size_t max_events_;
+  std::size_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// One recorder's contribution to a merged multi-process trace file.
+struct TraceProcess {
+  const TraceRecorder* recorder = nullptr;
+  std::string name;  ///< process_name shown in the viewer
+};
+
+/// Write several recorders into one Chrome trace file, one pid per
+/// recorder (e.g. resilient_solve merges its scheme x mode runs so their
+/// timelines sit side by side in Perfetto).
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceProcess>& processes);
+
+}  // namespace lck::obs

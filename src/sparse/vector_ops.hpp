@@ -16,7 +16,6 @@
 /// (and the virtual-clock results built on them) irreproducible across
 /// machines.
 
-#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -24,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/pass_counter.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/partitioner.hpp"
 
@@ -37,23 +37,22 @@ namespace detail {
 /// data passes it performs (one relaxed atomic add per *call*, not per
 /// element, so the cost is invisible next to the sweep itself). Tests and
 /// benches use the counter to assert that the fused per-iteration solver
-/// bodies really cut the sweep count, instead of trusting a comment.
-inline std::atomic<std::uint64_t> g_vector_passes{0};
-
+/// bodies really cut the sweep count, instead of trusting a comment. The
+/// counter itself lives in obs/pass_counter.hpp so the observability layer
+/// can sample it into the metrics registry.
 inline void count_passes(std::uint64_t n) noexcept {
-  g_vector_passes.fetch_add(n, std::memory_order_relaxed);
+  obs::add_vector_passes(n);
 }
 
 }  // namespace detail
 
 /// Total full-vector passes performed by vector_ops kernels so far.
+/// (Shim over obs::vector_passes(), kept for existing callers/tests.)
 [[nodiscard]] inline std::uint64_t vector_pass_count() noexcept {
-  return detail::g_vector_passes.load(std::memory_order_relaxed);
+  return obs::vector_passes();
 }
 
-inline void reset_vector_pass_count() noexcept {
-  detail::g_vector_passes.store(0, std::memory_order_relaxed);
-}
+inline void reset_vector_pass_count() noexcept { obs::reset_vector_passes(); }
 
 namespace detail {
 
