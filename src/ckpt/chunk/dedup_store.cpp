@@ -89,6 +89,11 @@ void DedupChunkStore::drop_chunk_ref(std::uint64_t hash) {
 }
 
 void DedupChunkStore::write(int version, std::span<const byte_t> data) {
+  (void)write_counted(version, data);
+}
+
+DedupWriteStats DedupChunkStore::write_counted(int version,
+                                               std::span<const byte_t> data) {
   Skeleton skel;
   skel.logical_size = data.size();
   bool split = false;
@@ -143,8 +148,13 @@ void DedupChunkStore::write(int version, std::span<const byte_t> data) {
   // replaying the part layout (parts partition the stream in order).
   // A throw anywhere (e.g. ENOSPC writing a chunk or the skeleton) rolls
   // the refs taken by THIS call back, so a failed write never pins chunks
-  // a reader cannot reach.
+  // a reader cannot reach. The stream parse above touched no shared state,
+  // so concurrent writers only serialize on this index/refcount section.
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t hits_before = hits_;
+  const std::size_t saved_before = bytes_saved_;
   std::size_t refs_taken = 0;
+  std::size_t chunk_parts = 0;
   try {
     std::size_t cursor = 0;
     for (const auto& part : skel.parts) {
@@ -153,12 +163,13 @@ void DedupChunkStore::write(int version, std::span<const byte_t> data) {
             part.hash,
             data.subspan(cursor, static_cast<std::size_t>(part.size)));
         ++refs_taken;
+        ++chunk_parts;
         cursor += static_cast<std::size_t>(part.size);
       } else {
         cursor += part.raw.size();
       }
     }
-    remove(version);
+    remove_locked(version);
     if (!dir_.empty()) persist_skeleton(version, skel);
   } catch (...) {
     std::size_t i = 0;
@@ -170,9 +181,15 @@ void DedupChunkStore::write(int version, std::span<const byte_t> data) {
     throw;
   }
   skeletons_[version] = std::move(skel);
+  DedupWriteStats stats;
+  stats.hits = hits_ - hits_before;
+  stats.bytes_saved = bytes_saved_ - saved_before;
+  stats.chunks = chunk_parts;
+  return stats;
 }
 
 std::vector<byte_t> DedupChunkStore::read(int version) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = skeletons_.find(version);
   if (it == skeletons_.end()) {
     if (legacy_versions_.contains(version))
@@ -206,10 +223,16 @@ std::vector<byte_t> DedupChunkStore::read(int version) const {
 }
 
 bool DedupChunkStore::exists(int version) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   return skeletons_.contains(version) || legacy_versions_.contains(version);
 }
 
 void DedupChunkStore::remove(int version) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  remove_locked(version);
+}
+
+void DedupChunkStore::remove_locked(int version) {
   if (!dir_.empty()) {
     std::error_code ec;
     fs::remove(legacy_path(version), ec);
@@ -230,13 +253,33 @@ void DedupChunkStore::remove(int version) {
 }
 
 int DedupChunkStore::latest_version() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   int latest = skeletons_.empty() ? -1 : skeletons_.rbegin()->first;
   if (!legacy_versions_.empty())
     latest = std::max(latest, *legacy_versions_.rbegin());
   return latest;
 }
 
-std::size_t DedupChunkStore::physical_bytes() const noexcept {
+std::vector<int> DedupChunkStore::versions_in(int lo, int hi) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (auto it = skeletons_.lower_bound(lo);
+       it != skeletons_.end() && it->first < hi; ++it)
+    out.push_back(it->first);
+  for (auto it = legacy_versions_.lower_bound(lo);
+       it != legacy_versions_.end() && *it < hi; ++it)
+    out.push_back(*it);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t DedupChunkStore::chunk_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.size();
+}
+
+std::size_t DedupChunkStore::physical_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [v, skel] : skeletons_)
     for (const auto& part : skel.parts)
@@ -245,10 +288,26 @@ std::size_t DedupChunkStore::physical_bytes() const noexcept {
   return total;
 }
 
-std::size_t DedupChunkStore::logical_bytes() const noexcept {
+std::size_t DedupChunkStore::logical_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [v, skel] : skeletons_) total += skel.logical_size;
   return total;
+}
+
+std::size_t DedupChunkStore::dedup_hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t DedupChunkStore::dedup_bytes_saved() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return bytes_saved_;
+}
+
+void DedupChunkStore::set_observability(obs::Sink sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  obs_ = sink;
 }
 
 void DedupChunkStore::persist_skeleton(int version,

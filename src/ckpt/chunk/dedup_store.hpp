@@ -11,11 +11,17 @@
 /// so every reader stays dedup-agnostic. Non-delta blobs are stored
 /// verbatim (single raw part) — the store never changes observable bytes.
 ///
-/// Thread-safety matches the other backends: external synchronization (the
-/// tiered store serializes access per level under its level mutex).
+/// Thread-safety: *internally* synchronized, unlike the other backends.
+/// One DedupChunkStore is the shared L3 of the multi-tenant
+/// CheckpointService, where N jobs' promotion workers write genuinely
+/// concurrently — each job's TieredCheckpointStore level lock serializes
+/// only that job's traffic, so refcount acquire/release, the skeleton
+/// index and the hit counters are guarded by one internal mutex here.
+/// (Single-tenant stacks pay one uncontended lock per call.)
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -23,6 +29,16 @@
 #include "ckpt/checkpoint_store.hpp"
 
 namespace lck {
+
+/// What one DedupChunkStore::write_counted() call did — the deltas of the
+/// cumulative counters, captured atomically under the store's lock so a
+/// multi-tenant caller can attribute them to the writing job (two separate
+/// before/after reads would interleave with concurrent writers).
+struct DedupWriteStats {
+  std::size_t hits = 0;         ///< Chunk writes satisfied by residency.
+  std::size_t bytes_saved = 0;  ///< Payload bytes those hits avoided.
+  std::size_t chunks = 0;       ///< Chunk parts in the written stream.
+};
 
 class DedupChunkStore final : public CheckpointStore {
  public:
@@ -34,31 +50,33 @@ class DedupChunkStore final : public CheckpointStore {
   explicit DedupChunkStore(std::string dir = "");
 
   void write(int version, std::span<const byte_t> data) override;
+  /// write() plus an atomic report of what this call deduplicated — the
+  /// multi-tenant service records the deltas as per-job labeled metrics.
+  DedupWriteStats write_counted(int version, std::span<const byte_t> data);
   [[nodiscard]] std::vector<byte_t> read(int version) const override;
   [[nodiscard]] bool exists(int version) const override;
   void remove(int version) override;
   [[nodiscard]] int latest_version() const override;
+  /// Committed (skeleton or legacy) versions in [lo, hi), ascending — how a
+  /// namespace view over the shared store enumerates its own key range.
+  [[nodiscard]] std::vector<int> versions_in(int lo, int hi) const;
 
   // ----- dedup accounting ---------------------------------------------------
   /// Unique chunk payloads resident.
-  [[nodiscard]] std::size_t chunk_count() const noexcept {
-    return chunks_.size();
-  }
+  [[nodiscard]] std::size_t chunk_count() const;
   /// Bytes actually resident: skeleton raw bytes + unique chunk bytes.
-  [[nodiscard]] std::size_t physical_bytes() const noexcept;
+  [[nodiscard]] std::size_t physical_bytes() const;
   /// Bytes the stored versions reassemble to (what a dedup-less store
   /// would hold).
-  [[nodiscard]] std::size_t logical_bytes() const noexcept;
+  [[nodiscard]] std::size_t logical_bytes() const;
   /// Chunk writes satisfied by an already-resident chunk (cumulative).
-  [[nodiscard]] std::size_t dedup_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t dedup_hits() const;
   /// Payload bytes those hits avoided re-storing (cumulative).
-  [[nodiscard]] std::size_t dedup_bytes_saved() const noexcept {
-    return bytes_saved_;
-  }
+  [[nodiscard]] std::size_t dedup_bytes_saved() const;
 
   /// Attach observability handles: records chunk hit/miss counters, bytes
   /// saved, and refcount churn into the registry (chunk.* series).
-  void set_observability(obs::Sink sink) override { obs_ = sink; }
+  void set_observability(obs::Sink sink) override;
 
  private:
   struct Part {
@@ -82,12 +100,17 @@ class DedupChunkStore final : public CheckpointStore {
 
   void add_chunk_ref(std::uint64_t hash, std::span<const byte_t> payload);
   void drop_chunk_ref(std::uint64_t hash);
+  void remove_locked(int version);
   void persist_skeleton(int version, const Skeleton& skel) const;
   [[nodiscard]] std::string skel_path(int version) const;
   [[nodiscard]] std::string chunk_path(std::uint64_t hash) const;
   [[nodiscard]] std::string legacy_path(int version) const;
   void load_from_dir();
 
+  /// Guards every member below (and the chunk/skeleton files' lifecycle):
+  /// the service's promotion pool makes concurrent writers the norm, so
+  /// refcounts, the indexes and the counters are one critical section.
+  mutable std::mutex mu_;
   std::string dir_;  ///< Empty ⇒ in-memory only.
   std::map<int, Skeleton> skeletons_;
   std::map<std::uint64_t, Chunk> chunks_;

@@ -36,14 +36,18 @@ TieredCheckpointStore::TieredCheckpointStore(std::vector<Level> levels,
     level_mu_.push_back(std::make_unique<std::mutex>());
     preloaded_.push_back(levels_[i].store->latest_version() >= 0);
   }
-  if (auto_promote_) promoter_ = std::make_unique<AsyncCheckpointWriter>();
+  // The promotion worker is created lazily by the first scheduled
+  // promotion: a store whose promotions run on an external executor (the
+  // service's shared pool) must never spawn its own thread.
 }
 
 TieredCheckpointStore::~TieredCheckpointStore() {
   // The promoter's destructor drains the queue before joining, and it is
   // the last-declared member, so jobs never touch dead levels. Reap first
-  // so unfetched outcomes do not outlive the store.
-  if (promoter_ != nullptr) drain_promotions();
+  // so unfetched outcomes do not outlive the store. With an external
+  // executor the drain waits for our in-flight tasks instead, so a shared
+  // pool worker never runs against a destroyed store.
+  if (promoter_ != nullptr || executor_ != nullptr) drain_promotions();
 }
 
 // ----- CheckpointStore interface --------------------------------------------
@@ -69,7 +73,7 @@ void TieredCheckpointStore::write(int version, std::span<const byte_t> data) {
     }
     prune_level_locked(0);
   }
-  if (auto_promote_) schedule_promotions(version);
+  if (auto_promote_) schedule_promotions(version, data.size());
 }
 
 std::vector<byte_t> TieredCheckpointStore::read(int version) const {
@@ -138,6 +142,7 @@ void TieredCheckpointStore::write_pending(int version,
       delta_base_[version] = *base;
     else
       delta_base_.erase(version);
+    pending_bytes_[version] = data.size();
   }
   // Runs on the async drain thread. The L1 backend's pending protocol is
   // thread-safe against committed-side reads by contract; the level lock
@@ -147,6 +152,7 @@ void TieredCheckpointStore::write_pending(int version,
 }
 
 void TieredCheckpointStore::commit(int version) {
+  std::size_t weight = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     {
@@ -154,18 +160,24 @@ void TieredCheckpointStore::commit(int version) {
       levels_.front().store->commit(version);
     }
     committed_.front().insert(version);
+    if (const auto it = pending_bytes_.find(version);
+        it != pending_bytes_.end()) {
+      weight = it->second;
+      pending_bytes_.erase(it);
+    }
     if (obs_.metrics != nullptr)
       obs_.metrics->add("tier.writes", 1.0,
                         {{"tier", levels_.front().spec.name}});
     prune_level_locked(0);
   }
-  if (auto_promote_) schedule_promotions(version);
+  if (auto_promote_) schedule_promotions(version, weight);
 }
 
 void TieredCheckpointStore::abort(int version) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     delta_base_.erase(version);
+    pending_bytes_.erase(version);
   }
   const std::lock_guard<std::mutex> ll(*level_mu_[0]);
   levels_.front().store->abort(version);
@@ -433,14 +445,24 @@ void TieredCheckpointStore::promote_background(int version, int level,
 void TieredCheckpointStore::reap_finished_locked() {
   // Promotion jobs never throw (errors are counted in failed_promotions_),
   // so waiting on a finished key returns immediately and cannot rethrow.
-  while (!finished_keys_.empty()) {
+  while (promoter_ != nullptr && !finished_keys_.empty()) {
     const int key = finished_keys_.front();
     finished_keys_.pop_front();
     (void)promoter_->wait(key);
   }
 }
 
-void TieredCheckpointStore::schedule_promotions(int version) {
+void TieredCheckpointStore::run_promotion_pass(int version) {
+  for (int lv = 1; lv < level_count(); ++lv) {
+    if (version % levels_[static_cast<std::size_t>(lv)].spec.promote_every !=
+        0)
+      continue;
+    promote_background(version, lv);
+  }
+}
+
+void TieredCheckpointStore::schedule_promotions(int version,
+                                                std::size_t weight) {
   std::unique_lock<std::mutex> lock(mu_);
   reap_finished_locked();
   // Back-pressure: a commit that would exceed the in-flight bound waits for
@@ -448,16 +470,26 @@ void TieredCheckpointStore::schedule_promotions(int version) {
   promo_cv_.wait(lock, [&] { return promo_in_flight_ < max_inflight_; });
   ++promo_in_flight_;
   const int key = promo_seq_++;
+  if (executor_ == nullptr && promoter_ == nullptr)
+    promoter_ = std::make_unique<AsyncCheckpointWriter>();
   lock.unlock();
 
+  if (executor_ != nullptr) {
+    executor_->submit(fair_key_, weight, [this, version] {
+      run_promotion_pass(version);
+      // Decrement and notify under the lock: the destructor's drain may be
+      // waiting on promo_in_flight_ == 0, and once it returns the store —
+      // and this condition variable — are gone. After the unlock a pool
+      // worker touches nothing of `this`.
+      const std::lock_guard<std::mutex> lock(mu_);
+      --promo_in_flight_;
+      promo_cv_.notify_all();
+    });
+    return;
+  }
+
   promoter_->submit(key, [this, version, key] {
-    for (int lv = 1; lv < level_count(); ++lv) {
-      if (version %
-              levels_[static_cast<std::size_t>(lv)].spec.promote_every !=
-          0)
-        continue;
-      promote_background(version, lv);
-    }
+    run_promotion_pass(version);
     {
       const std::lock_guard<std::mutex> lock(mu_);
       --promo_in_flight_;
@@ -471,7 +503,6 @@ void TieredCheckpointStore::schedule_promotions(int version) {
 }
 
 void TieredCheckpointStore::drain_promotions() {
-  if (promoter_ == nullptr) return;
   std::unique_lock<std::mutex> lock(mu_);
   promo_cv_.wait(lock, [&] { return promo_in_flight_ == 0; });
   reap_finished_locked();
@@ -503,6 +534,16 @@ void TieredCheckpointStore::set_observability(obs::Sink sink) {
 std::size_t TieredCheckpointStore::failed_promotions() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return failed_promotions_;
+}
+
+void TieredCheckpointStore::set_promotion_executor(PromotionExecutor* exec,
+                                                   int fair_key) {
+  require(exec != nullptr, "tiered store: null promotion executor");
+  const std::lock_guard<std::mutex> lock(mu_);
+  require(promoter_ == nullptr && promo_in_flight_ == 0,
+          "tiered store: install the promotion executor before any traffic");
+  executor_ = exec;
+  fair_key_ = fair_key;
 }
 
 // ----- canonical 3-level factory --------------------------------------------

@@ -20,6 +20,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,22 @@
 namespace lck {
 
 class AsyncCheckpointWriter;
+
+/// Where a tiered store's background promotion jobs run. By default each
+/// store owns a single worker thread; the multi-tenant CheckpointService
+/// instead installs one shared, fairness-scheduled pool across all jobs'
+/// stores via set_promotion_executor(), so N tenants cannot each spawn a
+/// thread and the pool can arbitrate who promotes next.
+class PromotionExecutor {
+ public:
+  virtual ~PromotionExecutor() = default;
+  /// Run `task` asynchronously. `fair_key` identifies the submitting client
+  /// (one per tenant) and `weight_bytes` the job's cost, so a deficit-
+  /// round-robin scheduler can keep heavy writers from starving light ones.
+  /// Implementations must eventually run every accepted task exactly once.
+  virtual void submit(int fair_key, std::size_t weight_bytes,
+                      std::function<void()> task) = 0;
+};
 
 /// Static description of one tier of the hierarchy.
 struct TierSpec {
@@ -123,6 +140,13 @@ class TieredCheckpointStore final : public CheckpointStore {
   /// concurrent traffic, like the other configuration methods.
   void set_observability(obs::Sink sink) override;
 
+  /// Route background promotions to `exec` (tagged `fair_key`) instead of a
+  /// store-owned worker thread. Call before any traffic; the executor must
+  /// outlive this store. The in-flight bound and drain_promotions() still
+  /// apply — the destructor waits for this store's submitted tasks, so pool
+  /// workers never touch a dead store.
+  void set_promotion_executor(PromotionExecutor* exec, int fair_key);
+
  private:
   [[nodiscard]] bool committed_at_locked(int level, int version) const;
   bool promote_locked(int version, int level, int depth = 0);
@@ -137,7 +161,11 @@ class TieredCheckpointStore final : public CheckpointStore {
   [[nodiscard]] int delta_base_locked(int version) const;
   /// Enqueue the background promotion of `version` through levels 1..N-1
   /// (per their promote_every filters). Blocks while the queue is full.
-  void schedule_promotions(int version);
+  /// `weight` is the version's blob size, forwarded to an installed
+  /// executor for fairness scheduling.
+  void schedule_promotions(int version, std::size_t weight);
+  /// One queued job's work: promote `version` into every eligible tier.
+  void run_promotion_pass(int version);
   void reap_finished_locked();
 
   std::vector<Level> levels_;
@@ -168,7 +196,17 @@ class TieredCheckpointStore final : public CheckpointStore {
   std::size_t failed_promotions_ = 0;
   int promo_seq_ = 0;                      ///< Unique writer job keys.
   std::deque<int> finished_keys_;          ///< Completed jobs awaiting reap.
+  /// Blob size of each pending (write_pending, not yet committed) version:
+  /// commit() forwards it as the promotion weight. Erased at commit/abort,
+  /// so the map is bounded by the async pipeline's in-flight pendings.
+  std::map<int, std::size_t> pending_bytes_;
+  /// External promotion executor (non-owning) and this store's fairness
+  /// key; nullptr ⇒ the store lazily spawns its own worker below.
+  PromotionExecutor* executor_ = nullptr;
+  int fair_key_ = 0;
   /// Declared last so the worker joins before the levels and mutex die.
+  /// Created lazily on the first scheduled promotion (never when an
+  /// external executor is installed).
   std::unique_ptr<AsyncCheckpointWriter> promoter_;
 };
 

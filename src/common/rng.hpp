@@ -70,6 +70,20 @@ class Rng {
     return -mean * std::log(u);
   }
 
+  /// Weibull-distributed value with the given shape k and scale λ
+  /// (inverse-CDF transform). At k = 1 this consumes exactly the same
+  /// uniform draw as exponential(λ) and returns the identical value, so
+  /// seeds stay bit-stable when a Weibull config degenerates to
+  /// exponential. k < 1 models bursty arrivals (heavy early mass), k > 1
+  /// wear-out (arrivals cluster near λ).
+  double weibull(double shape, double scale) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return scale * std::pow(-std::log(u), 1.0 / shape);
+  }
+
   /// Standard normal via Box–Muller.
   double normal(double mu = 0.0, double sigma = 1.0) noexcept {
     if (have_cached_) {

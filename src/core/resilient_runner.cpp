@@ -47,6 +47,15 @@ void ResilienceConfig::validate() const {
     violation("failure.severity_weights must be non-negative");
   else if (!(weight_sum > 0.999 && weight_sum < 1.001))
     violation("failure.severity_weights must sum to 1");
+  if (failure.distribution != "exponential" &&
+      failure.distribution != "weibull")
+    violation("failure.distribution must be \"exponential\" or \"weibull\"");
+  if (failure.distribution == "weibull") {
+    if (!(failure.weibull_shape > 0.0))
+      violation("failure.weibull_shape must be positive");
+    if (!(failure.weibull_scale >= 0.0))
+      violation("failure.weibull_scale must be non-negative");
+  }
   if (tiered.l2_promote_every < 1)
     violation("tiered.l2_promote_every must be >= 1");
   if (tiered.l3_promote_every < 1)
@@ -102,8 +111,32 @@ ResilientRunner::ResilientRunner(IterativeSolver& solver, ResilienceConfig cfg)
               "runner: lossy scheme requires a lossy compressor");
       break;
   }
+  // The Weibull switch re-arms from t = 0, so exponential runs keep their
+  // exact historical draw sequence (the injector only consumes extra draws
+  // when the model is enabled).
+  if (cfg_.failure.distribution == "weibull" && cfg_.failure.inject) {
+    const double scale =
+        cfg_.failure.weibull_scale > 0.0
+            ? cfg_.failure.weibull_scale
+            : cfg_.failure.mtti_seconds /
+                  std::tgamma(1.0 + 1.0 / cfg_.failure.weibull_shape);
+    injector_.set_weibull(cfg_.failure.weibull_shape, scale);
+  }
   std::unique_ptr<CheckpointStore> store;
-  if (cfg_.ckpt_mode == CkptMode::kTiered) {
+  if (cfg_.store_factory) {
+    // Externally-owned store stack (e.g. a CheckpointService job handle):
+    // the caller decides tiers, namespaces and shared backends; the runner
+    // only needs the tiered interface for its virtual promotion channel.
+    store = cfg_.store_factory();
+    require(store != nullptr, "runner: store_factory returned null");
+    if (cfg_.ckpt_mode == CkptMode::kTiered) {
+      tiered_ = dynamic_cast<TieredCheckpointStore*>(store.get());
+      require(tiered_ != nullptr,
+              "runner: tiered mode requires store_factory to yield a "
+              "TieredCheckpointStore");
+      injector_.set_severity_weights(cfg_.failure.severity_weights);
+    }
+  } else if (cfg_.ckpt_mode == CkptMode::kTiered) {
     // Canonical 3-level hierarchy with virtual-time promotion: the runner
     // itself issues promote_now() when the simulated background channel
     // finishes a copy, so runs are bit-stable regardless of host speed.

@@ -30,6 +30,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -76,6 +77,15 @@ struct FailureConfig {
   /// system); must sum to 1. Only sampled in tiered mode.
   std::array<double, kSeverityCount> severity_weights =
       kDefaultSeverityWeights;
+  /// Inter-arrival distribution: "exponential" (the paper's model, default)
+  /// or "weibull" (bursty fleet failures; see sim/failure.hpp).
+  std::string distribution = "exponential";
+  /// Weibull shape k; < 1 front-loads the hazard (bursts). Only read when
+  /// distribution == "weibull".
+  double weibull_shape = 0.7;
+  /// Weibull scale λ; 0 derives it from mtti_seconds so the mean
+  /// inter-arrival stays the configured MTTI (λ = MTTI / Γ(1 + 1/k)).
+  double weibull_scale = 0.0;
 };
 
 /// Multi-level hierarchy knobs (CkptMode::kTiered only).
@@ -132,6 +142,15 @@ struct ResilienceConfig {
   /// the checkpoint stack reduces to one null-pointer test. Enabling them
   /// never changes simulation decisions — runs stay bit-stable.
   obs::ObservabilityConfig obs{};
+
+  /// Externally-owned store stack: when set, the runner calls this factory
+  /// instead of building its own store (the multi-tenant CheckpointService
+  /// hands per-job stacks out this way — see svc/checkpoint_service.hpp).
+  /// In tiered mode the factory must yield a TieredCheckpointStore (the
+  /// runner drives promote_now on it); any CheckpointStore works otherwise.
+  /// The returned store is owned by the runner's manager; resources it
+  /// borrows (the service's shared L3) must outlive the runner.
+  std::function<std::unique_ptr<CheckpointStore>()> store_factory;
 
   /// Virtual cost of one solver iteration at cluster scale (calibrated per
   /// method, e.g. GMRES ≈ 1.22 s at 2,048 ranks — paper §4.3).

@@ -23,6 +23,9 @@
 ///  - observability:   ObservabilityConfig (ResilienceConfig::obs),
 ///                     MetricsRegistry / MetricsSnapshot (JSON + Prometheus
 ///                     text), TraceRecorder + write_chrome_trace (Perfetto)
+///  - multi-tenancy:   svc::CheckpointService + JobHandle (shared dedup L3,
+///                     per-job namespaces, admission control, fair shared
+///                     promotion pool)
 ///
 /// Headers outside this set (individual solver classes, compressor
 /// internals, tier stores) remain usable but are implementation surface and
@@ -51,3 +54,4 @@
 #include "sparse/gen/kkt.hpp"
 #include "sparse/gen/poisson3d.hpp"
 #include "sparse/matrix_market.hpp"
+#include "svc/checkpoint_service.hpp"

@@ -2,11 +2,13 @@
 /// \file failure.hpp
 /// \brief Fail-stop failure injection with exponentially distributed
 ///        inter-arrival times (paper §5.4: "the failure intervals follow an
-///        exponential distribution"). Failures may land during computation,
-///        checkpointing, or recovery. For the multi-level checkpoint
-///        hierarchy each failure optionally carries a severity (process /
-///        node / partition / system) sampled from configurable weights, so
-///        λ splits into per-severity rates λ_k = w_k·λ.
+///        exponential distribution"), or Weibull(shape, scale) arrivals for
+///        bursty fleet scenarios (set_weibull; shape < 1 front-loads the
+///        hazard the way real failure logs do). Failures may land during
+///        computation, checkpointing, or recovery. For the multi-level
+///        checkpoint hierarchy each failure optionally carries a severity
+///        (process / node / partition / system) sampled from configurable
+///        weights, so λ splits into per-severity rates λ_k = w_k·λ.
 
 #include <array>
 
@@ -54,15 +56,36 @@ class FailureInjector {
   }
 
   /// Re-arm after handling a failure (or to skip one): samples the next
-  /// arrival at `now` + Exp(MTTI), plus its severity when the severity
-  /// model is active. Runs that never enable severities draw exactly the
-  /// same RNG sequence as before the tiered extension (bit-stable seeds).
+  /// arrival at `now` + Exp(MTTI) — or `now` + Weibull(shape, scale) when
+  /// the Weibull model is active — plus its severity when the severity
+  /// model is active. Runs that never enable severities or Weibull draw
+  /// exactly the same RNG sequence as before these extensions (bit-stable
+  /// seeds).
   void arm(double now) {
-    next_ = enabled_ ? now + rng_.exponential(mtti_)
+    next_ = enabled_ ? now + sample_interarrival()
                      : std::numeric_limits<double>::infinity();
     next_severity_ = enabled_ && severities_enabled_
                          ? sample_severity()
                          : FailureSeverity::kProcess;
+  }
+
+  /// Switch inter-arrival sampling to Weibull(shape, scale). shape < 1
+  /// gives the bursty heavy-early-mass arrivals real failure logs show;
+  /// shape = 1 is exactly exponential with mean `scale` (same draws, same
+  /// values — bit-stable against the default model when scale == MTTI).
+  /// The currently armed failure is re-armed from `now` under the new
+  /// distribution so the switch takes effect immediately.
+  void set_weibull(double shape, double scale, double now = 0.0) {
+    require(shape > 0.0, "failure injector: Weibull shape must be positive");
+    require(scale > 0.0, "failure injector: Weibull scale must be positive");
+    weibull_enabled_ = true;
+    weibull_shape_ = shape;
+    weibull_scale_ = scale;
+    arm(now);
+  }
+
+  [[nodiscard]] bool weibull_enabled() const noexcept {
+    return weibull_enabled_;
   }
 
   /// Enable per-failure severity sampling. Weights must be non-negative and
@@ -97,6 +120,11 @@ class FailureInjector {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
  private:
+  [[nodiscard]] double sample_interarrival() noexcept {
+    return weibull_enabled_ ? rng_.weibull(weibull_shape_, weibull_scale_)
+                            : rng_.exponential(mtti_);
+  }
+
   [[nodiscard]] FailureSeverity sample_severity() noexcept {
     const double u = rng_.uniform();
     double acc = 0.0;
@@ -111,6 +139,9 @@ class FailureInjector {
   double mtti_;
   bool enabled_;
   bool severities_enabled_ = false;
+  bool weibull_enabled_ = false;
+  double weibull_shape_ = 1.0;
+  double weibull_scale_ = 1.0;
   std::array<double, kSeverityCount> weights_ = kDefaultSeverityWeights;
   double next_ = 0.0;
   FailureSeverity next_severity_ = FailureSeverity::kProcess;

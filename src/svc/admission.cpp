@@ -1,0 +1,81 @@
+#include "svc/admission.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace lck::svc {
+
+AdmissionController::AdmissionController(std::size_t byte_budget,
+                                         std::size_t max_inflight)
+    : byte_budget_(byte_budget), max_inflight_(max_inflight) {
+  require(byte_budget >= 1, "admission: byte budget must be >= 1");
+  require(max_inflight >= 1, "admission: inflight bound must be >= 1");
+}
+
+AdmissionController::Grant AdmissionController::acquire(std::size_t bytes) {
+  const std::size_t clamped = std::min(bytes, byte_budget_);
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t ticket = next_ticket_++;
+  const auto admissible = [&] {
+    return ticket == serving_ && inflight_ < max_inflight_ &&
+           bytes_in_use_ + clamped <= byte_budget_;
+  };
+  bool waited = false;
+  double wait_seconds = 0.0;
+  if (!admissible()) {
+    waited = true;
+    ++waits_;
+    const WallTimer timer;
+    cv_.wait(lock, admissible);
+    wait_seconds = timer.seconds();
+  }
+  bytes_in_use_ += clamped;
+  ++inflight_;
+  ++serving_;
+  ++grants_;
+  lock.unlock();
+  // The next ticket may already fit alongside this one.
+  cv_.notify_all();
+  return Grant(this, clamped, waited, wait_seconds);
+}
+
+void AdmissionController::release(std::size_t bytes) noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    bytes_in_use_ -= bytes;
+    --inflight_;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Grant::release() noexcept {
+  if (ctl_ != nullptr) {
+    ctl_->release(bytes_);
+    ctl_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+std::size_t AdmissionController::bytes_in_use() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return bytes_in_use_;
+}
+
+std::size_t AdmissionController::inflight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::size_t AdmissionController::grants() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return grants_;
+}
+
+std::size_t AdmissionController::waits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return waits_;
+}
+
+}  // namespace lck::svc

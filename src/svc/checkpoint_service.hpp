@@ -1,0 +1,218 @@
+#pragma once
+/// \file checkpoint_service.hpp
+/// \brief Multi-tenant checkpoint service: one shared content-addressed L3
+///        (DedupChunkStore) and one shared promotion worker pool serving N
+///        concurrent solver jobs, each isolated in its own namespace.
+///
+///   job 0 ── L1 Memory ─ L2 Partner ─┐                 ┌ admission tokens
+///   job 1 ── L1 Memory ─ L2 Partner ─┼── NamespaceStore┼── shared L3
+///   ...                              │   (key = id·S+v)│   DedupChunkStore
+///   job N ── L1 Memory ─ L2 Partner ─┘                 └ shared PromotionPool
+///
+/// Every job gets its own TieredCheckpointStore (private L1/L2, per-job
+/// retention and promotion cadence) whose L3 level is a namespace view over
+/// the one shared DedupChunkStore: job j's version v is stored under key
+/// j·stride + v, so prune/invalidate in one namespace can never touch
+/// another job's versions, while identical chunk payloads across jobs —
+/// the common static problem state — are stored once (cross-job dedup).
+///
+/// Two service-wide mechanisms arbitrate the shared tier:
+///  - admission control (svc::AdmissionController): every namespace write
+///    first reserves its byte size against a global budget, so the fleet's
+///    aggregate in-flight L3 bytes are bounded (back-pressure, not failure);
+///  - fairness (svc::PromotionPool): all jobs' background promotions run on
+///    one deficit-round-robin pool keyed by job id, so a heavy writer
+///    cannot starve a light one and N tenants do not spawn N threads.
+///
+/// The service owns an always-on MetricsRegistry: global gauges
+/// (svc.jobs_active, svc.l3_logical_bytes, svc.l3_physical_bytes), global
+/// counters (svc.admission_waits), and per-job labeled series
+/// (svc.l3_writes{job=...}, svc.l3_write_seconds{job=...},
+/// svc.dedup_hits{job=...}) — a scheduler can scrape
+/// metrics().to_prometheus() directly.
+///
+/// Lifetime discipline: stores made by a JobHandle borrow the service's
+/// shared L3 and pool, so they must be destroyed before the handle closes,
+/// and every handle must close before the service dies (the destructor
+/// checks). The handles plug into ResilientRunner unchanged via
+/// ResilienceConfig::store_factory.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ckpt/chunk/dedup_store.hpp"
+#include "obs/metrics.hpp"
+#include "svc/admission.hpp"
+#include "svc/promo_pool.hpp"
+
+namespace lck::svc {
+
+/// Service-wide knobs, validated at construction.
+struct ServiceConfig {
+  /// Shared L3 directory ("" = in-memory; a directory persists chunks and
+  /// lets a restarted service dedup against the previous run).
+  std::string l3_dir = "";
+  /// Concurrently open jobs; open_job() past this blocks until one closes.
+  int max_jobs = 64;
+  /// Namespace width: job j owns shared-store keys [j·stride, (j+1)·stride).
+  /// Also the per-job version ceiling. Must leave (max stride·jobs) ≤
+  /// INT_MAX — checked as jobs open.
+  int namespace_stride = 1 << 16;
+  /// Admission budget: max aggregate bytes of in-flight shared-L3 writes.
+  std::size_t admission_bytes = std::size_t{256} << 20;
+  /// Admission bound on the count of in-flight shared-L3 writes.
+  std::size_t admission_inflight = 64;
+  /// Shared promotion pool width and DRR quantum.
+  int promo_workers = 2;
+  std::size_t promo_quantum_bytes = std::size_t{1} << 20;
+
+  /// Throws config_error naming every violated constraint.
+  void validate() const;
+};
+
+/// Per-job knobs for the store stack a JobHandle builds.
+struct JobConfig {
+  /// Metrics label; "" derives "job<id>".
+  std::string name = "";
+  /// Versions retained per tier (the manager-level retention should be
+  /// parked when running under a tiered stack).
+  int retention = 2;
+  int l2_promote_every = 1;
+  int l3_promote_every = 1;
+  /// true: background promotions ride the service's shared pool. false:
+  /// the caller drives promote_now() explicitly (virtual-time runner mode).
+  bool background_promotions = true;
+  /// Back-pressure bound on this job's queued background promotions.
+  std::size_t max_inflight_promotions = 16;
+};
+
+/// What one job has done to the shared tier (monotonic, per job).
+struct JobStats {
+  std::string name;
+  std::uint64_t l3_writes = 0;
+  std::uint64_t dedup_hits = 0;         ///< Chunk hits this job's writes made.
+  std::uint64_t dedup_bytes_saved = 0;  ///< Bytes those hits avoided.
+  std::uint64_t chunks_written = 0;     ///< Chunk parts across its writes.
+  std::uint64_t logical_bytes = 0;      ///< Sum of its written blob sizes.
+  std::uint64_t admission_waits = 0;    ///< Writes that had to queue.
+  double admission_wait_seconds = 0.0;  ///< Total time queued.
+  double write_seconds = 0.0;           ///< Total shared-L3 write time.
+};
+
+class CheckpointService;
+
+/// One tenant's registration. Move-only RAII: closing (or destroying) the
+/// handle releases the job slot and its namespace bookkeeping — after all
+/// stores made from it are gone.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  JobHandle(JobHandle&& other) noexcept { swap(other); }
+  JobHandle& operator=(JobHandle&& other) noexcept {
+    if (this != &other) {
+      close();
+      swap(other);
+    }
+    return *this;
+  }
+  ~JobHandle() { close(); }
+
+  JobHandle(const JobHandle&) = delete;
+  JobHandle& operator=(const JobHandle&) = delete;
+
+  [[nodiscard]] bool open() const noexcept { return svc_ != nullptr; }
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] std::string name() const;
+
+  /// Build this job's store stack: private L1 (memory) + L2 (partner) and
+  /// the namespaced shared-L3 level. The stack satisfies the plain
+  /// CheckpointStore interface, so CheckpointManager / ResilientRunner use
+  /// it unchanged. May be called again after discarding a stack — the
+  /// namespace's surviving shared-L3 versions are visible to the new stack
+  /// (restart/recovery).
+  [[nodiscard]] std::unique_ptr<CheckpointStore> make_store() const;
+
+  /// make_store() packaged for ResilienceConfig::store_factory.
+  [[nodiscard]] std::function<std::unique_ptr<CheckpointStore>()>
+  store_factory() const;
+
+  [[nodiscard]] JobStats stats() const;
+
+  /// Release the job slot (idempotent). All stores made from this handle
+  /// must already be destroyed.
+  void close();
+
+ private:
+  friend class CheckpointService;
+  JobHandle(CheckpointService* svc, int id) noexcept : svc_(svc), id_(id) {}
+  void swap(JobHandle& other) noexcept {
+    std::swap(svc_, other.svc_);
+    std::swap(id_, other.id_);
+  }
+
+  CheckpointService* svc_ = nullptr;
+  int id_ = -1;
+};
+
+class CheckpointService {
+ public:
+  explicit CheckpointService(ServiceConfig cfg = {});
+  ~CheckpointService();
+
+  CheckpointService(const CheckpointService&) = delete;
+  CheckpointService& operator=(const CheckpointService&) = delete;
+
+  /// Register a job. Blocks while max_jobs are already open; job ids are
+  /// monotonic, so a reopened service run never reuses a namespace.
+  [[nodiscard]] JobHandle open_job(JobConfig cfg = {});
+
+  // ----- fleet introspection ------------------------------------------------
+  [[nodiscard]] int jobs_active() const;
+  [[nodiscard]] int jobs_opened() const;
+  [[nodiscard]] JobStats job_stats(int job_id) const;
+
+  /// The shared content-addressed tier (aggregate dedup accounting:
+  /// physical_bytes(), logical_bytes(), dedup_hits(), ...).
+  [[nodiscard]] const DedupChunkStore& l3() const { return *l3_; }
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+  [[nodiscard]] const PromotionPool& pool() const { return pool_; }
+
+  /// Service-owned registry (always on): svc.* series plus everything the
+  /// shared L3 records. Scrape with metrics().to_prometheus().
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  friend class JobHandle;
+  class NamespaceStore;
+  struct JobState;
+
+  void close_job(int job_id);
+  [[nodiscard]] std::unique_ptr<CheckpointStore> make_store_for(int job_id);
+  [[nodiscard]] std::shared_ptr<JobState> state_of(int job_id) const;
+  void refresh_gauges();
+
+  ServiceConfig cfg_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<DedupChunkStore> l3_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable jobs_cv_;
+  std::map<int, std::shared_ptr<JobState>> jobs_;
+  int next_job_id_ = 0;
+
+  /// Declared last: its destructor drains the queued promotion closures,
+  /// which touch the members above.
+  PromotionPool pool_;
+};
+
+}  // namespace lck::svc

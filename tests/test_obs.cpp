@@ -79,7 +79,8 @@ TEST(Metrics, HistogramBucketBoundaries) {
   reg.observe("h", -2.5);  // -> bucket 0
   reg.observe("h", 0.25);  // -> bucket 0.25
 
-  const auto* h = reg.snapshot().histogram("h");
+  const auto snap = reg.snapshot();
+  const auto* h = snap.histogram("h");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count, 7u);
   EXPECT_EQ(h->min, -2.5);
@@ -127,7 +128,8 @@ TEST(Metrics, SnapshotSerializationIsDeterministic) {
 TEST(Metrics, QuantilesInterpolateWithinBuckets) {
   obs::MetricsRegistry reg;
   for (int i = 0; i < 100; ++i) reg.observe("h", 10.0);
-  const auto* h = reg.snapshot().histogram("h");
+  const auto snap = reg.snapshot();
+  const auto* h = snap.histogram("h");
   ASSERT_NE(h, nullptr);
   // All mass in one bucket: quantiles clamp to [min, max] = [10, 10].
   EXPECT_EQ(h->quantile(0.5), 10.0);
@@ -142,7 +144,8 @@ TEST(ScopedTimer, ObservesIntoHistogram) {
     obs::ScopedTimer t(&reg, "span.seconds", {{"stage", "build"}});
     EXPECT_GE(t.seconds(), 0.0);
   }
-  const auto* h = reg.snapshot().histogram("span.seconds{stage=build}");
+  const auto snap = reg.snapshot();
+  const auto* h = snap.histogram("span.seconds{stage=build}");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count, 1u);
   EXPECT_GE(h->sum, 0.0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/stats.hpp"
 #include "sim/cluster_model.hpp"
 #include "sim/failure.hpp"
@@ -116,6 +118,89 @@ TEST(FailureInjector, DeterministicAcrossSeeds) {
 TEST(FailureInjector, RejectsNonPositiveMtti) {
   EXPECT_THROW(FailureInjector(0.0, 1), config_error);
   EXPECT_THROW(FailureInjector(-1.0, 1), config_error);
+}
+
+// ----- Weibull arrival model ------------------------------------------------
+
+TEST(FailureInjectorWeibull, ShapeOneIsBitIdenticalToExponential) {
+  // Weibull(1, λ) is Exp(λ) and the inverse-CDF transform consumes the
+  // same uniform draw, so the whole arrival sequence must match bit-exactly
+  // — the contract that keeps default-config reruns stable.
+  const double mtti = 1800.0;
+  FailureInjector exp_inj(mtti, 42);
+  FailureInjector wb_inj(mtti, 42);
+  wb_inj.set_weibull(1.0, mtti);
+  // set_weibull re-arms (one extra uniform draw); re-arm the exponential
+  // injector too so both sequences compare from the same stream position.
+  exp_inj.arm(0.0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_DOUBLE_EQ(exp_inj.next_failure_time(), wb_inj.next_failure_time());
+    const double now = exp_inj.next_failure_time();
+    exp_inj.arm(now);
+    wb_inj.arm(now);
+  }
+}
+
+TEST(FailureInjectorWeibull, MeanMatchesScaleTimesGamma) {
+  // E[Weibull(k, λ)] = λ·Γ(1 + 1/k).
+  const double shape = 0.7;
+  const double scale = 1000.0;
+  FailureInjector inj(3600.0, 7);
+  inj.set_weibull(shape, scale);
+  RunningStats st;
+  double now = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    st.add(inj.next_failure_time() - now);
+    now = inj.next_failure_time();
+    inj.arm(now);
+  }
+  const double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(st.mean(), expected, expected * 0.03);
+}
+
+TEST(FailureInjectorWeibull, ShapeBelowOneIsBurstierThanExponential) {
+  // k < 1 front-loads the hazard: the coefficient of variation exceeds 1
+  // (exponential's CV), i.e. many short gaps plus a heavy tail of long
+  // ones — the burstiness real failure logs show.
+  FailureInjector inj(3600.0, 13);
+  inj.set_weibull(0.5, 1000.0);
+  RunningStats st;
+  double now = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    st.add(inj.next_failure_time() - now);
+    now = inj.next_failure_time();
+    inj.arm(now);
+  }
+  const double cv = st.stddev() / st.mean();
+  EXPECT_GT(cv, 1.5);  // theoretical CV at k = 0.5 is sqrt(5) ≈ 2.24
+  EXPECT_LT(cv, 3.0);
+}
+
+TEST(FailureInjectorWeibull, MedianMatchesClosedForm) {
+  // median = λ·(ln 2)^{1/k}.
+  const double shape = 1.5;
+  const double scale = 500.0;
+  FailureInjector inj(3600.0, 99);
+  inj.set_weibull(shape, scale);
+  Samples samples;
+  double now = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    samples.add(inj.next_failure_time() - now);
+    now = inj.next_failure_time();
+    inj.arm(now);
+  }
+  const double expected = scale * std::pow(std::log(2.0), 1.0 / shape);
+  EXPECT_NEAR(samples.median(), expected, expected * 0.03);
+}
+
+TEST(FailureInjectorWeibull, RejectsNonPositiveParameters) {
+  FailureInjector inj(3600.0, 1);
+  EXPECT_THROW(inj.set_weibull(0.0, 100.0), config_error);
+  EXPECT_THROW(inj.set_weibull(-1.0, 100.0), config_error);
+  EXPECT_THROW(inj.set_weibull(0.7, 0.0), config_error);
+  EXPECT_FALSE(inj.weibull_enabled());
+  inj.set_weibull(0.7, 100.0);
+  EXPECT_TRUE(inj.weibull_enabled());
 }
 
 }  // namespace
