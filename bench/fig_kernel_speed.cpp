@@ -1,27 +1,41 @@
-/// Kernel-speed driver (PR 7): measures per-kernel CPU time of the fused
-/// BLAS-1 kernels against their unfused primitive sequences, blocked SpMV
-/// against the plain row loop, and the vectorized compression hot loops
-/// against naive references, then emits BENCH_kernels.json.
+/// Kernel-speed driver (PR 7 + PR 10): measures per-kernel CPU time of the
+/// fused BLAS-1 kernels against their unfused primitive sequences, blocked
+/// SpMV against the plain row loop, the vectorized compression hot loops
+/// against naive references, and (PR 10) the runtime-dispatched SIMD
+/// backends against the true-scalar reference backend, then emits
+/// BENCH_kernels.json.
 ///
 /// CPU time (CLOCK_PROCESS_CPUTIME_ID) sums across threads, so the
 /// fused-vs-unfused comparison measures *work*, not wall clock, and divides
 /// correctly even in a 1-core container. Real-time speedups from the
 /// parallel paths need a multicore host — see README "Kernel performance".
 ///
-/// Exit status is non-zero when any fused kernel does > 1.05x the CPU work
-/// of its unfused pair (the CI gate).
+/// Exit status is non-zero when
+///  - any fused kernel does > 1.05x the CPU work of its unfused pair,
+///  - the fused SpMV+norm pass does > 0.9x the separate multiply+
+///    subtract+norm sequence,
+///  - the active SIMD SpMV does > 0.9x the scalar-backend SpMV on a
+///    wide-row matrix (gate skipped with notice when the CPU lacks AVX2), or
+///  - solver trajectories / compression streams are not bit-identical
+///    between LCK_FORCE_ISA=scalar and the native ISA (the determinism
+///    contract, asserted in-process).
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/crc32.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "compress/compressor.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lossless/byte_codecs.hpp"
+#include "solvers/cg.hpp"
 #include "sparse/gen/poisson3d.hpp"
+#include "sparse/gen/random_spd.hpp"
 #include "sparse/vector_ops.hpp"
 
 namespace {
@@ -47,11 +61,42 @@ struct Pair {
   std::string name;
   double cpu_fused = 0.0;
   double cpu_unfused = 0.0;
-  bool gated = false;  ///< Participates in all_ratios_ok / the exit status.
+  bool gated = false;   ///< Participates in all_ratios_ok / the exit status.
+  double limit = 1.05;  ///< Gate threshold on ratio() when gated.
   [[nodiscard]] double ratio() const {
     return cpu_unfused > 0.0 ? cpu_fused / cpu_unfused : 0.0;
   }
 };
+
+/// Interleaved best-of-trials measurement of two loops: alternating the two
+/// sides inside each trial makes host-load drift (the common failure mode of
+/// A-then-B timing on shared machines) hit both sides equally, and the min
+/// over trials discards the disturbed runs. Returns {cpu_a, cpu_b}.
+template <typename A, typename B>
+std::pair<double, double> time_interleaved(A&& fa, B&& fb, int reps,
+                                           int trials) {
+  double ta = 1e100, tb = 1e100;
+  for (int t = 0; t < trials; ++t) {
+    {
+      const CpuTimer tm;
+      for (int i = 0; i < reps; ++i) fa();
+      const double v = tm.seconds();
+      if (v < ta) ta = v;
+    }
+    {
+      const CpuTimer tm;
+      for (int i = 0; i < reps; ++i) fb();
+      const double v = tm.seconds();
+      if (v < tb) tb = v;
+    }
+  }
+  return {ta, tb};
+}
+
+std::uint32_t vec_crc(const Vector& v) {
+  return crc32({reinterpret_cast<const byte_t*>(v.data()),
+                v.size() * sizeof(double)});
+}
 
 }  // namespace
 
@@ -223,6 +268,207 @@ int main(int argc, char** argv) {
     pairs.push_back(pr);
   }
 
+  // --- Fused SpMV + residual-norm pass vs separate sweeps (gated) ----------
+  // The unfused baseline is the textbook separate form: y = A·x, r = b − y,
+  // ||r||₂ — three full-vector sweeps after the SpMV. The fused pass writes
+  // r and accumulates its squared norm in the same sweep (bit-identical by
+  // the lane-canonical contract). A 7-point stencil keeps the fusable sweeps
+  // a visible fraction of the total work — the regime the solvers'
+  // per-iteration convergence checks live in — and its structured column
+  // accesses keep the SpMV side cache-friendly, so the measurement isolates
+  // the fusion win instead of gather-miss noise. Both sides run the active
+  // ISA.
+  // A perf gate must fail on a missing speedup, not on a noisy host: each
+  // 0.9-gated pair keeps the min CPU time per side across up to three
+  // interleaved best-of-trials attempts, stopping early once the gate holds
+  // (shared-runner CI hosts have multi-second slow phases that a single
+  // attempt can land entirely inside).
+  const auto measure_gated = [](Pair& pr, auto&& fa, auto&& fb, int seg_reps) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const auto [ta, tb] = time_interleaved(fa, fb, seg_reps, 13);
+      if (attempt == 0 || ta < pr.cpu_fused) pr.cpu_fused = ta;
+      if (attempt == 0 || tb < pr.cpu_unfused) pr.cpu_unfused = tb;
+      if (pr.ratio() <= pr.limit) break;
+    }
+  };
+  {
+    const CsrMatrix a = poisson3d_spd(32);  // 32k rows, ~230k nnz
+    const Vector x = random_vector(static_cast<std::size_t>(a.cols()), 20);
+    const Vector b = random_vector(static_cast<std::size_t>(a.rows()), 21);
+    Vector y(static_cast<std::size_t>(a.rows()), 0.0);
+    Vector r(static_cast<std::size_t>(a.rows()), 0.0);
+    Pair pr{"spmv_fused_norm", 0, 0, true, 0.9};
+    measure_gated(
+        pr, [&] { sink(a.residual_norm2(b, x, r)); },
+        [&] {
+          a.multiply(x, y);
+          waxpy(b, -1.0, y, r);
+          sink(norm2(r));
+        },
+        16 * reps);
+    pairs.push_back(pr);
+  }
+
+  // --- Dispatched SIMD backends vs the true-scalar reference (PR 10) -------
+  // Per-kernel rows: CPU time under LCK_FORCE_ISA=scalar semantics (the
+  // reference backend, compiled with auto-vectorization disabled so
+  // "scalar" really is scalar machine code) against the active ISA. The
+  // SpMV row is gated at 0.9 on AVX2-capable hosts; the rest are
+  // informational (the 8-lane reduction contract deliberately caps how much
+  // a wider ISA can win on pure reductions over streams out of cache).
+  const simd::Isa active = simd::active_isa();
+  const bool simd_gate_applicable =
+      simd::supported_isa() >= simd::Isa::kAvx2 && active >= simd::Isa::kAvx2;
+  struct IsaRow {
+    std::string name;
+    double cpu_scalar = 0.0;
+    double cpu_native = 0.0;
+    [[nodiscard]] double speedup() const {
+      return cpu_native > 0.0 ? cpu_scalar / cpu_native : 0.0;
+    }
+  };
+  std::vector<IsaRow> isa_rows;
+  {
+    // Wide rows (>= kSimdRowMinNnz nonzeros) exercise the gather kernels;
+    // a small dimension keeps x L1-resident so the comparison measures the
+    // kernels, not DRAM.
+    RandomSpdOptions gopt;
+    gopt.n = 4000;
+    gopt.off_per_row = 32;
+    gopt.seed = 24;
+    const CsrMatrix a = random_dominant(gopt);
+    const Vector x = random_vector(static_cast<std::size_t>(a.cols()), 25);
+    Vector y(static_cast<std::size_t>(a.rows()), 0.0);
+    IsaRow row{"spmv_wide_rows"};
+    Pair pr{"spmv_simd", 0, 0, simd_gate_applicable, 0.9};
+    measure_gated(
+        pr,
+        [&] {
+          simd::force_isa(active);
+          a.multiply(x, y);
+          sink(y[0]);
+        },
+        [&] {
+          simd::force_isa(simd::Isa::kScalar);
+          a.multiply(x, y);
+          sink(y[0]);
+        },
+        16 * reps);
+    simd::reset_isa();
+    row.cpu_native = pr.cpu_fused;
+    row.cpu_scalar = pr.cpu_unfused;
+    isa_rows.push_back(row);
+    pairs.push_back(pr);
+    if (!simd_gate_applicable)
+      std::printf("notice: CPU lacks AVX2 — spmv_simd 0.9x gate skipped "
+                  "(reported informationally)\n");
+  }
+  {
+    const std::size_t nd = 1u << 16;  // L2-resident streams
+    const Vector x = random_vector(nd, 26), y = random_vector(nd, 27);
+    IsaRow row{"dot"};
+    std::tie(row.cpu_native, row.cpu_scalar) = time_interleaved(
+        [&] {
+          simd::force_isa(active);
+          sink(dot(x, y));
+        },
+        [&] {
+          simd::force_isa(simd::Isa::kScalar);
+          sink(dot(x, y));
+        },
+        160 * reps, 9);
+    simd::reset_isa();
+    isa_rows.push_back(row);
+  }
+  {
+    const Vector field = random_vector(1u << 18, 28);
+    const auto* bytes = reinterpret_cast<const byte_t*>(field.data());
+    const std::size_t nbytes = field.size() * sizeof(double);
+    IsaRow row{"shuffle"};
+    std::tie(row.cpu_native, row.cpu_scalar) = time_interleaved(
+        [&] {
+          simd::force_isa(active);
+          const auto s = shuffle_bytes({bytes, nbytes}, sizeof(double));
+          sink(static_cast<double>(s[0]));
+        },
+        [&] {
+          simd::force_isa(simd::Isa::kScalar);
+          const auto s = shuffle_bytes({bytes, nbytes}, sizeof(double));
+          sink(static_cast<double>(s[0]));
+        },
+        8 * reps, 9);
+    simd::reset_isa();
+    isa_rows.push_back(row);
+  }
+  {
+    Rng rng(29);
+    std::vector<std::uint32_t> codes(1u << 20);
+    for (auto& c : codes)
+      c = rng.uniform() < 0.9
+              ? 32768u
+              : static_cast<std::uint32_t>(rng.uniform() * 65536.0);
+    IsaRow row{"histogram"};
+    std::tie(row.cpu_native, row.cpu_scalar) = time_interleaved(
+        [&] {
+          simd::force_isa(active);
+          const auto f = count_frequencies(codes, 65536);
+          sink(static_cast<double>(f[32768]));
+        },
+        [&] {
+          simd::force_isa(simd::Isa::kScalar);
+          const auto f = count_frequencies(codes, 65536);
+          sink(static_cast<double>(f[32768]));
+        },
+        2 * reps, 9);
+    simd::reset_isa();
+    isa_rows.push_back(row);
+  }
+
+  // --- Cross-ISA determinism: the contract the speed numbers rest on -------
+  // A CG trajectory on a wide-row matrix (gather kernels + every fused
+  // reduction) and two compression streams must be bit-identical between
+  // the scalar backend and the native ISA; a silent divergence here would
+  // make every "same result, less time" claim above meaningless.
+  bool bitident = true;
+  std::uint32_t solution_crc = 0;
+  {
+    RandomSpdOptions gopt;
+    gopt.n = 2000;
+    gopt.off_per_row = 24;
+    gopt.seed = 30;
+    const CsrMatrix a = random_dominant(gopt);
+    const Vector b = random_vector(static_cast<std::size_t>(a.rows()), 31);
+    const Vector field = [&] {
+      Rng rng(32);
+      Vector f(1u << 16);
+      for (std::size_t i = 0; i < f.size(); ++i)
+        f[i] = std::sin(0.0008 * static_cast<double>(i)) + 2.0 +
+               1e-5 * rng.uniform();
+      return f;
+    }();
+    std::vector<double> final_norms;
+    std::vector<std::uint32_t> x_crcs, sz_crcs, lz4_crcs;
+    for (const simd::Isa isa : {simd::Isa::kScalar, active}) {
+      simd::force_isa(isa);
+      SolveOptions sopts;
+      sopts.rtol = 1e-30;
+      CgSolver cg(a, b, nullptr, sopts);
+      for (int it = 0; it < 15; ++it) cg.step();
+      final_norms.push_back(cg.residual_norm());
+      x_crcs.push_back(vec_crc(cg.solution()));
+      const auto sz = make_compressor("sz", ErrorBound::absolute(1e-6));
+      sz_crcs.push_back(crc32(sz->compress(field)));
+      const auto lz = make_compressor("shuffle-lz4", ErrorBound{});
+      lz4_crcs.push_back(crc32(lz->compress(field)));
+    }
+    simd::reset_isa();
+    bitident = final_norms[0] == final_norms[1] && x_crcs[0] == x_crcs[1] &&
+               sz_crcs[0] == sz_crcs[1] && lz4_crcs[0] == lz4_crcs[1];
+    solution_crc = x_crcs[0];
+    std::printf("cross-isa bit-identity (scalar vs %s): %s\n",
+                simd::isa_name(active), bitident ? "ok" : "FAILED");
+  }
+
   // --- End-to-end codec throughput (informational) -------------------------
   double sz_mb_s = 0.0, trunc_mb_s = 0.0;
   {
@@ -248,31 +494,47 @@ int main(int argc, char** argv) {
   }
 
   // --- Report --------------------------------------------------------------
-  std::printf("%-18s %12s %12s %8s %6s\n", "kernel", "fused s", "unfused s",
-              "ratio", "gated");
+  std::printf("%-18s %12s %12s %8s %6s %6s\n", "kernel", "fused s",
+              "unfused s", "ratio", "gated", "limit");
   bool all_ok = true;
   std::vector<std::vector<double>> rows;
   for (const Pair& p : pairs) {
     const double ratio = p.ratio();
-    if (p.gated && ratio > 1.05) all_ok = false;
-    std::printf("%-18s %12.4f %12.4f %8.3f %6s\n", p.name.c_str(), p.cpu_fused,
-                p.cpu_unfused, ratio, p.gated ? "yes" : "no");
+    if (p.gated && ratio > p.limit) all_ok = false;
+    std::printf("%-18s %12.4f %12.4f %8.3f %6s %6.2f\n", p.name.c_str(),
+                p.cpu_fused, p.cpu_unfused, ratio, p.gated ? "yes" : "no",
+                p.limit);
     rows.push_back({p.cpu_fused, p.cpu_unfused, ratio, p.gated ? 1.0 : 0.0});
     json.scalar("cpu_" + p.name + "_fused", p.cpu_fused);
     json.scalar("cpu_" + p.name + "_unfused", p.cpu_unfused);
     json.scalar("ratio_" + p.name, ratio);
   }
+  std::printf("%-18s %12s %12s %8s   (active isa: %s)\n", "simd kernel",
+              "scalar s", "native s", "speedup", simd::isa_name(active));
+  std::vector<std::vector<double>> isa_table;
+  for (const IsaRow& r : isa_rows) {
+    std::printf("%-18s %12.4f %12.4f %8.2fx\n", r.name.c_str(), r.cpu_scalar,
+                r.cpu_native, r.speedup());
+    isa_table.push_back({r.cpu_scalar, r.cpu_native, r.speedup()});
+    json.scalar("speedup_" + r.name + "_simd", r.speedup());
+  }
   std::printf("sz compress: %.1f MB/s CPU, trunc compress: %.1f MB/s CPU\n",
               sz_mb_s, trunc_mb_s);
-  std::printf("all gated ratios <= 1.05: %s\n", all_ok ? "yes" : "NO");
+  std::printf("all gated ratios within limits: %s\n", all_ok ? "yes" : "NO");
 
   json.scalar("elems", static_cast<double>(n));
   json.scalar("reps", reps);
   json.scalar("sz_compress_mb_s", sz_mb_s);
   json.scalar("trunc_compress_mb_s", trunc_mb_s);
   json.scalar("all_ratios_ok", all_ok ? 1.0 : 0.0);
+  json.text("simd_isa", simd::isa_name(active));
+  json.scalar("simd_spmv_gate_applicable", simd_gate_applicable ? 1.0 : 0.0);
+  json.scalar("cross_isa_bitident_ok", bitident ? 1.0 : 0.0);
+  json.scalar("cross_isa_solution_crc", static_cast<double>(solution_crc));
   json.table("kernels", {"cpu_fused_s", "cpu_unfused_s", "ratio", "gated"},
              rows);
+  json.table("simd_kernels", {"cpu_scalar_s", "cpu_native_s", "speedup"},
+             isa_table);
   json.write();
-  return all_ok ? 0 : 1;
+  return all_ok && bitident ? 0 : 1;
 }

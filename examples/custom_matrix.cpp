@@ -6,16 +6,24 @@
 ///   build/examples/custom_matrix [matrix.mtx] [--policy fixed|young|adaptive]
 ///                                [--delta <chain-len>]
 ///                                [--trace <path>] [--metrics <path>]
+///                                [--spmv-bench]
 ///
 /// --trace writes the run's checkpoint-lifecycle spans as Chrome
 /// trace_event JSON (open in Perfetto); --metrics dumps the
-/// MetricsSnapshot of the run as JSON.
+/// MetricsSnapshot of the run as JSON. --spmv-bench skips the solve and
+/// instead times SpMV on the loaded matrix under the scalar reference
+/// backend vs the dispatched SIMD backend (plus the fused residual+norm
+/// kernel vs its separate form) — the first "real matrices" kernel rows.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "common/timer.hpp"
 #include "core/resilient_runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -23,6 +31,69 @@
 #include "solvers/gmres.hpp"
 #include "sparse/gen/kkt.hpp"
 #include "sparse/matrix_market.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace {
+
+/// Times SpMV and the fused residual-norm kernel on `a` under the scalar
+/// reference backend vs the dispatched ISA. Returns the process exit code.
+int run_spmv_bench(const lck::CsrMatrix& a) {
+  using namespace lck;
+  const simd::Isa active = simd::active_isa();
+  Rng rng(13);
+  Vector x(static_cast<std::size_t>(a.cols()));
+  Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+  for (auto& v : b) v = rng.uniform() * 2.0 - 1.0;
+  Vector y(static_cast<std::size_t>(a.rows()), 0.0);
+  Vector r(static_cast<std::size_t>(a.rows()), 0.0);
+
+  // Size reps so each timed segment is a few ms even on small matrices.
+  const int reps = static_cast<int>(
+      std::max<index_t>(1, 4'000'000 / std::max<index_t>(1, a.nnz())));
+  const int trials = 7;
+  volatile double guard = 0.0;
+
+  simd::force_isa(simd::Isa::kScalar);
+  const double spmv_scalar = time_cpu(
+      [&] {
+        a.multiply(x, y);
+        guard = guard + y[0];
+      },
+      reps, trials);
+  simd::force_isa(active);
+  const double spmv_simd = time_cpu(
+      [&] {
+        a.multiply(x, y);
+        guard = guard + y[0];
+      },
+      reps, trials);
+  const double fused = time_cpu(
+      [&] { guard = guard + a.residual_norm2(b, x, r); }, reps, trials);
+  const double separate = time_cpu(
+      [&] {
+        a.multiply(x, y);
+        waxpy(b, -1.0, y, r);
+        guard = guard + norm2(r);
+      },
+      reps, trials);
+  simd::reset_isa();
+
+  std::printf("\nSpMV kernel bench (%d reps x %d trials, best CPU time; "
+              "active ISA: %s)\n",
+              reps, trials, simd::isa_name(active));
+  std::printf("  %-28s %10s %10s\n", "kernel", "cpu [s]", "speedup");
+  std::printf("  %-28s %10.5f %10s\n", "multiply (scalar ref)", spmv_scalar,
+              "1.00x");
+  std::printf("  %-28s %10.5f %9.2fx\n", "multiply (dispatched)", spmv_simd,
+              spmv_simd > 0.0 ? spmv_scalar / spmv_simd : 0.0);
+  std::printf("  %-28s %10.5f %10s\n", "multiply+waxpy+norm2", separate, "");
+  std::printf("  %-28s %10.5f %9.2fx\n", "residual_norm2 (fused)", fused,
+              fused > 0.0 ? separate / fused : 0.0);
+  return guard == guard ? 0 : 1;  // keep the accumulator observable
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lck;
@@ -32,10 +103,11 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   int delta_chain = 0;
+  bool spmv_bench = false;
   bench::CliParser cli(
       argc, argv,
       "[matrix.mtx] [--policy fixed|young|adaptive] [--delta <chain-len>] "
-      "[--trace <path>] [--metrics <path>]");
+      "[--trace <path>] [--metrics <path>] [--spmv-bench]");
   while (cli.more()) {
     if (cli.match("--policy"))
       policy = cli.value();
@@ -45,6 +117,8 @@ int main(int argc, char** argv) {
       trace_path = cli.value();
     else if (cli.match("--metrics"))
       metrics_path = cli.value();
+    else if (cli.match("--spmv-bench"))
+      spmv_bench = true;
     else if (cli.positional())
       mtx_path = cli.take();
     else
@@ -67,6 +141,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(a.cols()),
               static_cast<long long>(a.nnz()),
               a.is_symmetric(1e-12) ? "yes" : "no");
+
+  if (spmv_bench) return run_spmv_bench(a);
 
   Vector b(a.rows(), 1.0);
   const JacobiPreconditioner pc(a);  // the paper's Fig. 3 choice

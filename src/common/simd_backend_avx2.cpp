@@ -1,0 +1,14 @@
+/// \file simd_backend_avx2.cpp
+/// \brief AVX2 (W = 4) backend with hardware i64 gathers. Compiled with
+///        -mavx2 via per-file flags (see CMakeLists); the table initializer
+///        is a constant expression, so no AVX2 instruction runs at static
+///        init on CPUs that lack it — only dispatch can reach this code.
+
+#include "common/simd_kernels.inc"
+#include "common/simd_tables.hpp"
+
+namespace lck::simd::detail {
+
+const KernelOps kOpsAvx2 = make_table<pack<double, 4>>(Isa::kAvx2);
+
+}  // namespace lck::simd::detail

@@ -1,0 +1,14 @@
+/// \file simd_backend_avx512.cpp
+/// \brief AVX-512 (W = 8) backend: one __m512d pack is the entire logical
+///        lane array of the reduction contract. Compiled with -mavx512f/vl/
+///        dq/bw via per-file flags; constant-initialized table, so nothing
+///        here executes on narrower CPUs unless dispatch selects it.
+
+#include "common/simd_kernels.inc"
+#include "common/simd_tables.hpp"
+
+namespace lck::simd::detail {
+
+const KernelOps kOpsAvx512 = make_table<pack<double, 8>>(Isa::kAvx512);
+
+}  // namespace lck::simd::detail

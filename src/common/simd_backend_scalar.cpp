@@ -1,0 +1,14 @@
+/// \file simd_backend_scalar.cpp
+/// \brief Scalar (W = 1) backend — the portable fallback and the reference
+///        the cross-ISA parity tests compare every wider backend against.
+///        Compiled with -ffp-contract=off like the wide backends, so no
+///        compiler-fused multiply-add can make it round differently.
+
+#include "common/simd_kernels.inc"
+#include "common/simd_tables.hpp"
+
+namespace lck::simd::detail {
+
+const KernelOps kOpsScalar = make_table<pack<double, 1>>(Isa::kScalar);
+
+}  // namespace lck::simd::detail

@@ -1,0 +1,12 @@
+/// \file simd_backend_sse2.cpp
+/// \brief SSE2 (W = 2) backend. x86-64 baseline — always executable there —
+///        but still a distinct tier so LCK_FORCE_ISA=sse2 pins it for tests.
+
+#include "common/simd_kernels.inc"
+#include "common/simd_tables.hpp"
+
+namespace lck::simd::detail {
+
+const KernelOps kOpsSse2 = make_table<pack<double, 2>>(Isa::kSse2);
+
+}  // namespace lck::simd::detail

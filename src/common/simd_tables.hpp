@@ -1,0 +1,19 @@
+#pragma once
+/// \file simd_tables.hpp
+/// \brief Internal: extern declarations of the per-ISA kernel tables, so the
+///        backend TUs (compiled with per-file ISA flags) can define them with
+///        external linkage and simd.cpp can dispatch over them. Not part of
+///        the public surface — include simd.hpp instead.
+
+#include "common/simd.hpp"
+
+namespace lck::simd::detail {
+
+extern const KernelOps kOpsScalar;
+#if defined(LCK_SIMD_X86)
+extern const KernelOps kOpsSse2;
+extern const KernelOps kOpsAvx2;
+extern const KernelOps kOpsAvx512;
+#endif
+
+}  // namespace lck::simd::detail

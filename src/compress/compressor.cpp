@@ -58,7 +58,12 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name,
           std::make_unique<TruncationCompressor>(), eb.value);
     return std::make_unique<TruncationCompressor>(eb);
   }
-  throw config_error("unknown compressor: " + name);
+  // List the registered names so a typo in a config is a one-look fix
+  // (LCK_FORCE_ISA's strict parse in common/simd.cpp follows the same rule).
+  throw config_error(
+      "unknown compressor: '" + name +
+      "' (valid: none, rle, shuffle-rle, deflate, shuffle-deflate, lz4, "
+      "shuffle-lz4, sz, zfp, trunc, or any of them behind a block+ prefix)");
 }
 
 double compression_ratio(const Compressor& c, std::span<const double> data) {

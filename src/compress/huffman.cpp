@@ -4,31 +4,23 @@
 #include <numeric>
 #include <queue>
 
+#include "common/simd.hpp"
+
 namespace lck {
 
 std::vector<std::uint64_t> count_frequencies(
     std::span<const std::uint32_t> symbols, std::size_t alphabet) {
-  // Four interleaved partial histograms: consecutive symbols update
-  // different counter arrays, so equal neighbouring symbols (the common case
-  // in quantization-code streams) no longer chain through the same memory
-  // location. Merged at the end; integer sums are order-independent.
-  std::vector<std::uint64_t> part(4 * alphabet, 0);
-  std::uint64_t* p0 = part.data();
-  std::uint64_t* p1 = p0 + alphabet;
-  std::uint64_t* p2 = p1 + alphabet;
-  std::uint64_t* p3 = p2 + alphabet;
-  const std::size_t n = symbols.size();
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    ++p0[symbols[i]];
-    ++p1[symbols[i + 1]];
-    ++p2[symbols[i + 2]];
-    ++p3[symbols[i + 3]];
-  }
-  for (; i < n; ++i) ++p0[symbols[i]];
+  // Eight interleaved partial histograms via the dispatched kernel table:
+  // consecutive symbols update different counter arrays, so equal
+  // neighbouring symbols (the common case in quantization-code streams) no
+  // longer chain through the same memory location. Merged at the end
+  // (integer sums are order-independent, so every backend returns identical
+  // counts; the merge loop auto-vectorizes under the active ISA's flags).
+  const auto& o = simd::ops();
+  std::vector<std::uint64_t> part(8 * alphabet, 0);
+  o.hist8(symbols.data(), symbols.size(), part.data(), alphabet);
   std::vector<std::uint64_t> freq(alphabet, 0);
-  for (std::size_t s = 0; s < alphabet; ++s)
-    freq[s] = p0[s] + p1[s] + p2[s] + p3[s];
+  o.hist8_merge(part.data(), alphabet, freq.data());
   return freq;
 }
 

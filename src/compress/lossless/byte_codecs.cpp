@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/simd.hpp"
+
 namespace lck {
 
 std::vector<byte_t> rle_encode(std::span<const byte_t> in) {
@@ -82,6 +84,13 @@ std::vector<byte_t> shuffle_bytes(std::span<const byte_t> in,
   require(in.size() % elem_size == 0, "shuffle: size not multiple of element");
   const std::size_t n = in.size() / elem_size;
   std::vector<byte_t> out(in.size());
+  if (elem_size == 8) {
+    // The dominant case (doubles): dispatched 8x8 byte-transpose kernel
+    // (SSE2 unpack ladder on x86). Same permutation, so the output bytes —
+    // and every downstream stream CRC — are identical to the tiled loop.
+    simd::ops().shuffle8(in.data(), out.data(), n, 0, n);
+    return out;
+  }
   for (std::size_t t = 0; t < n; t += kShuffleTile) {
     const std::size_t te = std::min(n, t + kShuffleTile);
     for (std::size_t k = 0; k < elem_size; ++k)
@@ -97,6 +106,10 @@ std::vector<byte_t> unshuffle_bytes(std::span<const byte_t> in,
   require(in.size() % elem_size == 0, "unshuffle: size not multiple of element");
   const std::size_t n = in.size() / elem_size;
   std::vector<byte_t> out(in.size());
+  if (elem_size == 8) {
+    simd::ops().unshuffle8(in.data(), out.data(), n, 0, n);
+    return out;
+  }
   for (std::size_t t = 0; t < n; t += kShuffleTile) {
     const std::size_t te = std::min(n, t + kShuffleTile);
     for (std::size_t k = 0; k < elem_size; ++k)

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/simd.hpp"
+
 namespace lck {
 namespace {
 
@@ -19,6 +21,12 @@ inline std::uint32_t read_u32(const byte_t* p) noexcept {
 /// Fibonacci-hash the 4-byte sequence at a candidate match position.
 inline std::uint32_t hash4(std::uint32_t v) noexcept {
   return (v * 2654435761u) >> (32u - kHashBits);
+}
+
+/// Dispatched leading-equal-bytes counter (the hot loop of the matcher).
+inline std::size_t match_len_ops(const byte_t* a, const byte_t* b,
+                                 std::size_t limit) {
+  return simd::ops().match_len(a, b, limit);
 }
 
 }  // namespace
@@ -77,9 +85,14 @@ std::size_t lz4_compress_into(std::span<const byte_t> in,
     if (cand != 0) {
       const std::size_t cpos = cand - 1;
       if (pos - cpos <= kMaxOffset && read_u32(ip + cpos) == seq) {
-        std::size_t len = kMinMatch;
-        while (pos + len < match_end_limit && ip[cpos + len] == ip[pos + len])
-          ++len;
+        // Extend the match with the dispatched chunked comparator
+        // (pcmpeqb+movemask on x86). The cap keeps every compare — chunked
+        // or scalar — inside [pos, match_end_limit), exactly the byte range
+        // the old byte-at-a-time loop touched, so streams stay identical.
+        const std::size_t len =
+            kMinMatch + match_len_ops(ip + cpos + kMinMatch,
+                                      ip + pos + kMinMatch,
+                                      match_end_limit - pos - kMinMatch);
         emit_sequence(anchor, pos - anchor, pos - cpos, len);
         pos += len;
         anchor = pos;

@@ -19,14 +19,13 @@ BicgstabSolver::BicgstabSolver(const CsrMatrix& a, Vector b,
 }
 
 void BicgstabSolver::do_restart() {
-  a_.residual(b_, x_, r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);  // fused r = b − A·x and ‖r‖
   copy(r_, rhat_);
   fill(p_, 0.0);
   fill(v_, 0.0);
   rho_ = 1.0;
   alpha_ = 1.0;
   omega_ = 1.0;
-  res_norm_ = norm2(r_);
 }
 
 void BicgstabSolver::do_step() {
@@ -94,8 +93,7 @@ void BicgstabSolver::restore_scalars(ByteReader& in) {
 }
 
 void BicgstabSolver::do_resume_after_restore() {
-  a_.residual(b_, x_, r_);
-  res_norm_ = norm2(r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);
 }
 
 }  // namespace lck

@@ -17,11 +17,10 @@ CgSolver::CgSolver(const CsrMatrix& a, Vector b, const Preconditioner* m,
 void CgSolver::do_restart() {
   // Paper Algorithm 2 lines 10–13: r = b − A·x, solve M z = r, p = z,
   // ρ = rᵀz.
-  a_.residual(b_, x_, r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);  // fused r = b − A·x and ‖r‖
   m_->apply(r_, z_);
   copy(z_, p_);
   rho_ = dot(r_, z_);
-  res_norm_ = norm2(r_);
 }
 
 void CgSolver::do_step() {
@@ -69,8 +68,7 @@ void CgSolver::restore_scalars(ByteReader& in) {
 void CgSolver::do_resume_after_restore() {
   // Paper Algorithm 1 line 8: recompute r = b − A·x; z is rebuilt at the
   // next step()'s preconditioner application, ρ and p were checkpointed.
-  a_.residual(b_, x_, r_);
-  res_norm_ = norm2(r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);
 }
 
 }  // namespace lck

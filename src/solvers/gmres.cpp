@@ -22,8 +22,9 @@ GmresSolver::GmresSolver(const CsrMatrix& a, Vector b,
 
 void GmresSolver::begin_cycle() {
   x_base_ = x_;
-  a_.residual(b_, x_base_, w_);
-  const double beta = norm2(w_);
+  // Fused r = b − A·x and ‖r‖ in one sweep (bit-identical to the separate
+  // residual + norm2 calls; see CsrMatrix::residual_norm2).
+  const double beta = a_.residual_norm2(b_, x_base_, w_);
   res_norm_ = beta;
   j_ = 0;
   std::fill(g_.begin(), g_.end(), 0.0);

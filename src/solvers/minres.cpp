@@ -16,9 +16,8 @@ MinresSolver::MinresSolver(const CsrMatrix& a, Vector b, SolveOptions opts)
 }
 
 void MinresSolver::do_restart() {
-  // Lanczos from r = b − A·x.
-  a_.residual(b_, x_, v_);
-  beta_ = norm2(v_);
+  // Lanczos from r = b − A·x (fused with ‖r‖ in one sweep).
+  beta_ = a_.residual_norm2(b_, x_, v_);
   res_norm_ = beta_;
   eta_ = beta_;
   if (beta_ > 0.0) scale(v_, 1.0 / beta_);

@@ -18,24 +18,22 @@ JacobiSolver::JacobiSolver(const CsrMatrix& a, Vector b, SolveOptions opts)
 }
 
 void JacobiSolver::do_restart() {
-  a_.residual(b_, x_, r_);
-  res_norm_ = norm2(r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);
   if (initial_res_norm_ == 0.0) initial_res_norm_ = res_norm_;
 }
 
 void JacobiSolver::do_resume_after_restore() {
-  a_.residual(b_, x_, r_);
-  res_norm_ = norm2(r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);
 }
 
 void JacobiSolver::do_step() {
-  // x ← x + D⁻¹ r, then refresh the recomputed residual. Fusing the norm
-  // into residual() is NOT done: residual() partitions work by SpMV row
-  // blocks while norm2() reduces over fixed 16Ki element blocks, so a fused
-  // sum would associate differently and break bit-stability.
+  // x ← x + D⁻¹ r, then refresh the recomputed residual with the norm fused
+  // into the same sweep. The fusion is legal since the lane-canonical
+  // reduction landed: residual_norm2() parallelizes over the *reduction*
+  // partition (fixed 16Ki row blocks) and accumulates y² lane-canonically,
+  // so it associates exactly like residual() followed by norm2().
   diag_axpy(inv_diag_, r_, x_);
-  a_.residual(b_, x_, r_);
-  res_norm_ = norm2(r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);
 }
 
 double JacobiSolver::estimate_spectral_radius() const {
@@ -66,8 +64,7 @@ std::string SorSolver::name() const {
 }
 
 void SorSolver::do_restart() {
-  a_.residual(b_, x_, r_);
-  res_norm_ = norm2(r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);
 }
 
 void SorSolver::do_resume_after_restore() { do_restart(); }
@@ -102,8 +99,7 @@ void SorSolver::do_step() {
       sweep(false);
       break;
   }
-  a_.residual(b_, x_, r_);
-  res_norm_ = norm2(r_);
+  res_norm_ = a_.residual_norm2(b_, x_, r_);
 }
 
 }  // namespace lck

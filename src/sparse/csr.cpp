@@ -2,30 +2,9 @@
 
 #include <cmath>
 
+#include "sparse/spmv_simd.hpp"
+
 namespace lck {
-
-namespace {
-
-/// Dot of one CSR row with a dense vector, 4-wide unrolled. A single
-/// accumulator updated in index order keeps the sum serially associated, so
-/// the result is bit-identical to the plain `for (k) s += v[k]*x[c[k]]` loop
-/// while still exposing four independent loads + one fused chain per step to
-/// the scheduler.
-inline double row_dot(const index_t* col, const double* val, index_t len,
-                      const double* x) noexcept {
-  double s = 0.0;
-  index_t k = 0;
-  for (; k + 4 <= len; k += 4) {
-    s += val[k] * x[col[k]];
-    s += val[k + 1] * x[col[k + 1]];
-    s += val[k + 2] * x[col[k + 2]];
-    s += val[k + 3] * x[col[k + 3]];
-  }
-  for (; k < len; ++k) s += val[k] * x[col[k]];
-  return s;
-}
-
-}  // namespace
 
 void CsrMatrix::build_plan() {
   block_rows_.assign(1, 0);
@@ -46,36 +25,30 @@ void CsrMatrix::build_plan() {
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   require(static_cast<index_t>(x.size()) == cols_, "spmv: x size mismatch");
   require(static_cast<index_t>(y.size()) == rows_, "spmv: y size mismatch");
-  const auto nblocks = static_cast<index_t>(block_rows_.size()) - 1;
-  const index_t* rp = row_ptr_.data();
-  const index_t* ci = col_idx_.data();
-  const double* v = values_.data();
-  const double* xp = x.data();
-  parallel_for(0, nblocks, [&](index_t blk) {
-    const index_t r1 = block_rows_[blk + 1];
-    for (index_t r = block_rows_[blk]; r < r1; ++r) {
-      const index_t k0 = rp[r];
-      y[r] = row_dot(ci + k0, v + k0, rp[r + 1] - k0, xp);
-    }
-  });
+  spmv::multiply_blocked(row_ptr_.data(), col_idx_.data(), values_.data(),
+                         x.data(), y.data(), block_rows_);
 }
 
 void CsrMatrix::residual(std::span<const double> b, std::span<const double> x,
                          std::span<double> y) const {
   require(static_cast<index_t>(b.size()) == rows_, "residual: b size mismatch");
   require(static_cast<index_t>(x.size()) == cols_, "residual: x size mismatch");
-  const auto nblocks = static_cast<index_t>(block_rows_.size()) - 1;
-  const index_t* rp = row_ptr_.data();
-  const index_t* ci = col_idx_.data();
-  const double* v = values_.data();
-  const double* xp = x.data();
-  parallel_for(0, nblocks, [&](index_t blk) {
-    const index_t r1 = block_rows_[blk + 1];
-    for (index_t r = block_rows_[blk]; r < r1; ++r) {
-      const index_t k0 = rp[r];
-      y[r] = b[r] - row_dot(ci + k0, v + k0, rp[r + 1] - k0, xp);
-    }
-  });
+  spmv::residual_blocked(row_ptr_.data(), col_idx_.data(), values_.data(),
+                         b.data(), x.data(), y.data(), block_rows_);
+}
+
+double CsrMatrix::residual_norm2(std::span<const double> b,
+                                 std::span<const double> x,
+                                 std::span<double> y) const {
+  require(static_cast<index_t>(b.size()) == rows_, "residual: b size mismatch");
+  require(static_cast<index_t>(x.size()) == cols_, "residual: x size mismatch");
+  require(static_cast<index_t>(y.size()) == rows_, "residual: y size mismatch");
+  // One fused sweep saves the separate norm pass over y; count it like the
+  // norm2() call it replaces.
+  detail::count_passes(1);
+  return std::sqrt(spmv::residual_norm2_sq(row_ptr_.data(), col_idx_.data(),
+                                           values_.data(), b.data(), x.data(),
+                                           y.data(), rows_));
 }
 
 void CsrMatrix::multiply_rowwise(std::span<const double> x,
@@ -83,10 +56,9 @@ void CsrMatrix::multiply_rowwise(std::span<const double> x,
   require(static_cast<index_t>(x.size()) == cols_, "spmv: x size mismatch");
   require(static_cast<index_t>(y.size()) == rows_, "spmv: y size mismatch");
   parallel_for(0, rows_, [&](index_t r) {
-    double sum = 0.0;
-    for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      sum += values_[k] * x[col_idx_[k]];
-    y[r] = sum;
+    const index_t k0 = row_ptr_[r];
+    y[r] = spmv::row_dot_scalar(col_idx_.data() + k0, values_.data() + k0,
+                                row_ptr_[r + 1] - k0, x.data());
   });
 }
 
@@ -96,10 +68,10 @@ void CsrMatrix::residual_rowwise(std::span<const double> b,
   require(static_cast<index_t>(b.size()) == rows_, "residual: b size mismatch");
   require(static_cast<index_t>(x.size()) == cols_, "residual: x size mismatch");
   parallel_for(0, rows_, [&](index_t r) {
-    double sum = 0.0;
-    for (index_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      sum += values_[k] * x[col_idx_[k]];
-    y[r] = b[r] - sum;
+    const index_t k0 = row_ptr_[r];
+    y[r] = b[r] - spmv::row_dot_scalar(col_idx_.data() + k0,
+                                       values_.data() + k0,
+                                       row_ptr_[r + 1] - k0, x.data());
   });
 }
 

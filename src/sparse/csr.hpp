@@ -23,8 +23,11 @@ namespace lck {
 /// are grouped into blocks of ~kSpmvBlockNnz nonzeros (capped at
 /// kSpmvBlockMaxRows rows), so each parallel task streams a cache-sized
 /// slice of col_idx/values and short rows are batched many-per-task instead
-/// of one-per-task. Per-row sums stay serially associated, so blocked SpMV
-/// is bit-identical to the plain row loop (multiply_rowwise).
+/// of one-per-task. Per-row dots follow the lane-canonical row contract
+/// (sparse/spmv_simd.hpp): serial association below simd::kSimdRowMinNnz
+/// nonzeros, 8-lane canonical (gather kernels) above it — fixed per row
+/// length, so blocked SpMV is bit-identical to the plain row loop
+/// (multiply_rowwise) and across every dispatched ISA.
 class CsrMatrix {
  public:
   /// Target nonzeros per SpMV block (~48 KiB of col+val per block).
@@ -56,9 +59,11 @@ class CsrMatrix {
   [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
   [[nodiscard]] std::span<double> values_mut() noexcept { return values_; }
 
-  /// y := A·x. Cache-blocked over the precomputed row plan with a 4-wide
-  /// unrolled (single-accumulator, serially associated) inner loop;
-  /// bit-identical to multiply_rowwise().
+  /// y := A·x. Cache-blocked over the precomputed row plan, per-row dots
+  /// dispatched to the active SIMD backend (gather kernels for rows with
+  /// ≥ simd::kSimdRowMinNnz nonzeros, serial sums below). The row contract
+  /// fixes the association per row length, so the result is bit-identical
+  /// to multiply_rowwise() and across every ISA.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
   /// y := b − A·x (fused residual kernel; paper Algorithm 1 line 8).
@@ -66,8 +71,18 @@ class CsrMatrix {
   void residual(std::span<const double> b, std::span<const double> x,
                 std::span<double> y) const;
 
-  /// Plain one-row-per-task reference SpMV (pre-blocking kernel). Kept for
-  /// tests and benches that pin blocked == rowwise bit-for-bit.
+  /// Fused y := b − A·x and ‖y‖₂ in one sweep — the solvers' restart /
+  /// recovery convergence check. Parallelized over the lane-canonical
+  /// reduction partition of the rows (not the nnz plan), so the returned
+  /// norm is bit-identical to residual() followed by norm2(y) at any
+  /// thread count and ISA.
+  [[nodiscard]] double residual_norm2(std::span<const double> b,
+                                      std::span<const double> x,
+                                      std::span<double> y) const;
+
+  /// Plain one-row-per-task reference SpMV pinned to the *scalar* backend.
+  /// Kept for tests and benches that pin blocked == rowwise bit-for-bit —
+  /// which, with dispatch live, doubles as a cross-ISA parity check.
   void multiply_rowwise(std::span<const double> x, std::span<double> y) const;
 
   /// Plain reference residual, pairing multiply_rowwise().

@@ -1,0 +1,51 @@
+/// \file spmv_simd.cpp
+/// \brief Dispatched SpMV drivers; see spmv_simd.hpp for the contracts.
+
+#include "sparse/spmv_simd.hpp"
+
+#include "common/simd.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace lck::spmv {
+
+void multiply_blocked(const index_t* row_ptr, const index_t* col_idx,
+                      const double* values, const double* x, double* y,
+                      std::span<const index_t> block_rows) {
+  const auto& o = simd::ops();
+  const auto nblocks = static_cast<index_t>(block_rows.size()) - 1;
+  parallel_for(0, nblocks, [&](index_t blk) {
+    o.spmv_rows(row_ptr, col_idx, values, x, y, block_rows[blk],
+                block_rows[blk + 1]);
+  });
+}
+
+void residual_blocked(const index_t* row_ptr, const index_t* col_idx,
+                      const double* values, const double* b, const double* x,
+                      double* y, std::span<const index_t> block_rows) {
+  const auto& o = simd::ops();
+  const auto nblocks = static_cast<index_t>(block_rows.size()) - 1;
+  parallel_for(0, nblocks, [&](index_t blk) {
+    o.residual_rows(row_ptr, col_idx, values, b, x, y, block_rows[blk],
+                    block_rows[blk + 1]);
+  });
+}
+
+double residual_norm2_sq(const index_t* row_ptr, const index_t* col_idx,
+                         const double* values, const double* b, const double* x,
+                         double* y, index_t rows) {
+  const auto& o = simd::ops();
+  // Ride the same fixed partition (and serial partial combine) as
+  // vector_ops' dense reductions, so the result is bitwise what
+  // residual() + norm2()² would produce.
+  return detail::reduce_blocks_sum(rows, [&](index_t r0, index_t r1) {
+    return o.residual_sq_rows(row_ptr, col_idx, values, b, x, y, r0, r1);
+  });
+}
+
+double row_dot_scalar(const index_t* col, const double* val, index_t len,
+                      const double* x) {
+  return simd::ops_for(simd::Isa::kScalar).row_dot(col, val, len, x);
+}
+
+}  // namespace lck::spmv

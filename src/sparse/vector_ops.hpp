@@ -6,15 +6,22 @@
 /// std::span<double> so that solver code reads like the algorithm statements
 /// in the paper (Algorithm 1/2).
 ///
-/// The reductions (dot, norm2, norm_inf) use a *deterministic fixed
-/// partition*: the range is split into blocks whose boundaries depend only
-/// on the length (via Partitioner), per-block partial results are computed
-/// independently (in parallel), and the partials are combined serially in
-/// block order. The result is therefore bit-stable regardless of the thread
-/// count — an OpenMP `reduction(+)` clause, by contrast, reassociates the
-/// sum differently per thread count, which would make solver trajectories
-/// (and the virtual-clock results built on them) irreproducible across
-/// machines.
+/// The reductions (dot, norm2, norm_inf, and every fused kernel below) use a
+/// *lane-canonical deterministic reduction*: the range is split into blocks
+/// whose boundaries depend only on the length (via Partitioner), each block
+/// folds into a fixed array of 8 logical lanes — lane l accumulating the
+/// elements with (i − block_begin) ≡ l (mod 8) in increasing order — the
+/// lanes are combined serially in lane order, and the per-block partials are
+/// combined serially in block order. Because the association is fixed by the
+/// *contract* rather than by the code that happens to run, the result is
+/// bit-identical across thread count AND across the SIMD backends in
+/// common/simd.hpp (scalar keeps 8 scalar accumulators, SSE2 four 2-wide
+/// packs, AVX2 two 4-wide, AVX-512 one 8-wide — all the same association).
+/// An OpenMP `reduction(+)` clause, by contrast, reassociates per thread
+/// count; a naive vector-width-sized accumulator would reassociate per ISA.
+/// The hot reductions dispatch to the runtime-selected simd::ops() table;
+/// the generic deterministic_reduce_sum/max templates below implement the
+/// same contract in portable code for everything else.
 
 #include <cmath>
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "obs/pass_counter.hpp"
 #include "parallel/parallel_for.hpp"
@@ -57,24 +65,18 @@ inline void reset_vector_pass_count() noexcept { obs::reset_vector_passes(); }
 namespace detail {
 
 /// Elements per reduction block. Small inputs (the local test problems)
-/// stay in one block, which reproduces the plain serial sum bit-for-bit;
-/// large inputs get one block per ~128 KiB with the partials combined in
-/// fixed order.
+/// stay in one block; large inputs get one block per ~128 KiB with the
+/// partials combined in fixed order.
 inline constexpr index_t kReductionBlockElems = 16384;
 
-/// Deterministic reduction of term(i) over [0, n): fixed partition (block
-/// boundaries depend only on n), parallel per-block partials, serial
-/// in-order combine of accumulator and term/partial values (starting from
-/// 0.0 at every level, so a ≤-one-block input reproduces the plain serial
-/// loop bit-for-bit).
-template <typename Term, typename Combine>
-[[nodiscard]] double deterministic_reduce(index_t n, Term&& term,
-                                          Combine&& combine) {
-  if (n <= kReductionBlockElems) {
-    double acc = 0.0;
-    for (index_t i = 0; i < n; ++i) acc = combine(acc, term(i));
-    return acc;
-  }
+/// Fixed-partition parallel driver for sums: block(begin, end) returns one
+/// block's lane-canonical partial; partials are combined serially in block
+/// order starting from 0.0. Block boundaries depend only on n, never on the
+/// thread count. Shared by the dense kernels here and the fused SpMV+norm
+/// driver in sparse/spmv_simd.cpp (which must associate identically).
+template <typename BlockFn>
+[[nodiscard]] double reduce_blocks_sum(index_t n, BlockFn&& block) {
+  if (n <= kReductionBlockElems) return block(index_t{0}, n);
   const int blocks =
       static_cast<int>((n + kReductionBlockElems - 1) / kReductionBlockElems);
   const Partitioner part(n, blocks);
@@ -82,28 +84,80 @@ template <typename Term, typename Combine>
   parallel_for(0, blocks, [&](index_t b) {
     const int blk = static_cast<int>(b);
     const index_t begin = part.offset(blk);
-    const index_t end = begin + part.local_size(blk);
-    double acc = 0.0;
-    for (index_t i = begin; i < end; ++i) acc = combine(acc, term(i));
-    partial[static_cast<std::size_t>(b)] = acc;
+    partial[static_cast<std::size_t>(b)] =
+        block(begin, begin + part.local_size(blk));
   });
   double acc = 0.0;
-  for (const double v : partial) acc = combine(acc, v);
+  for (const double v : partial) acc += v;
   return acc;
 }
 
-template <typename Term>
-[[nodiscard]] double deterministic_reduce_sum(index_t n, Term&& term) {
-  return deterministic_reduce(n, std::forward<Term>(term),
-                              [](double a, double v) { return a + v; });
+/// Same driver with a max combine (order-insensitive, but the fixed
+/// partition keeps the parallel shape uniform with the sums).
+template <typename BlockFn>
+[[nodiscard]] double reduce_blocks_max(index_t n, BlockFn&& block) {
+  if (n <= kReductionBlockElems) return block(index_t{0}, n);
+  const int blocks =
+      static_cast<int>((n + kReductionBlockElems - 1) / kReductionBlockElems);
+  const Partitioner part(n, blocks);
+  std::vector<double> partial(static_cast<std::size_t>(blocks), 0.0);
+  parallel_for(0, blocks, [&](index_t b) {
+    const int blk = static_cast<int>(b);
+    const index_t begin = part.offset(blk);
+    partial[static_cast<std::size_t>(b)] =
+        block(begin, begin + part.local_size(blk));
+  });
+  double acc = 0.0;
+  for (const double v : partial) acc = v > acc ? v : acc;
+  return acc;
 }
 
-/// Max is order-insensitive, but the fixed partition keeps the parallel
-/// shape (and any future tweak to it) uniform with the sums.
+/// One block's lane-canonical sum of term(i) over [begin, end) in portable
+/// code — the exact association every simd backend reproduces (and the
+/// reference tests/test_simd.cpp pins them against).
+template <typename Term>
+[[nodiscard]] double lane_sum_block(index_t begin, index_t end, Term& term) {
+  double lanes[simd::kReductionLanes] = {};
+  index_t i = begin;
+  for (; i + simd::kReductionLanes <= end; i += simd::kReductionLanes)
+    for (int l = 0; l < simd::kReductionLanes; ++l) lanes[l] += term(i + l);
+  for (int k = 0; i < end; ++i, ++k) lanes[k] += term(i);
+  double s = lanes[0];
+  for (int l = 1; l < simd::kReductionLanes; ++l) s += lanes[l];
+  return s;
+}
+
+/// One block's lane-canonical max of term(i) over [begin, end).
+template <typename Term>
+[[nodiscard]] double lane_max_block(index_t begin, index_t end, Term& term) {
+  double lanes[simd::kReductionLanes] = {};
+  index_t i = begin;
+  for (; i + simd::kReductionLanes <= end; i += simd::kReductionLanes)
+    for (int l = 0; l < simd::kReductionLanes; ++l) {
+      const double t = term(i + l);
+      lanes[l] = t > lanes[l] ? t : lanes[l];
+    }
+  for (int k = 0; i < end; ++i, ++k) {
+    const double t = term(i);
+    lanes[k] = t > lanes[k] ? t : lanes[k];
+  }
+  double m = lanes[0];
+  for (int l = 1; l < simd::kReductionLanes; ++l) m = lanes[l] > m ? lanes[l] : m;
+  return m;
+}
+
+/// Lane-canonical deterministic reduction of term(i) over [0, n): bit-stable
+/// for any thread count and consistent with the dispatched simd kernels.
+template <typename Term>
+[[nodiscard]] double deterministic_reduce_sum(index_t n, Term&& term) {
+  return reduce_blocks_sum(
+      n, [&](index_t b, index_t e) { return lane_sum_block(b, e, term); });
+}
+
 template <typename Term>
 [[nodiscard]] double deterministic_reduce_max(index_t n, Term&& term) {
-  return deterministic_reduce(n, std::forward<Term>(term),
-                              [](double a, double v) { return v > a ? v : a; });
+  return reduce_blocks_max(
+      n, [&](index_t b, index_t e) { return lane_max_block(b, e, term); });
 }
 
 }  // namespace detail
@@ -152,27 +206,37 @@ inline void scale(std::span<double> x, double alpha) {
   parallel_for(0, static_cast<index_t>(x.size()), [&](index_t i) { x[i] *= alpha; });
 }
 
-/// Dot product xᵀy (deterministic fixed-partition reduction: bit-stable
-/// for any thread count).
+/// Dot product xᵀy (lane-canonical deterministic reduction: bit-stable for
+/// any thread count and any simd::active_isa()).
 [[nodiscard]] inline double dot(std::span<const double> x, std::span<const double> y) {
   require(x.size() == y.size(), "dot: size mismatch");
   detail::count_passes(1);
-  return detail::deterministic_reduce_sum(
-      static_cast<index_t>(x.size()), [&](index_t i) { return x[i] * y[i]; });
+  const auto& o = simd::ops();
+  const double* xp = x.data();
+  const double* yp = y.data();
+  return detail::reduce_blocks_sum(
+      static_cast<index_t>(x.size()),
+      [&](index_t b, index_t e) { return o.sum_mul(xp, yp, b, e); });
 }
 
-/// Euclidean norm ||x||₂ (deterministic fixed-partition reduction).
+/// Euclidean norm ||x||₂ (lane-canonical deterministic reduction).
 [[nodiscard]] inline double norm2(std::span<const double> x) {
   detail::count_passes(1);
-  return std::sqrt(detail::deterministic_reduce_sum(
-      static_cast<index_t>(x.size()), [&](index_t i) { return x[i] * x[i]; }));
+  const auto& o = simd::ops();
+  const double* xp = x.data();
+  return std::sqrt(detail::reduce_blocks_sum(
+      static_cast<index_t>(x.size()),
+      [&](index_t b, index_t e) { return o.sum_sq(xp, b, e); }));
 }
 
-/// Max norm ||x||∞ (deterministic fixed-partition reduction).
+/// Max norm ||x||∞ (lane-canonical deterministic reduction).
 [[nodiscard]] inline double norm_inf(std::span<const double> x) {
   detail::count_passes(1);
-  return detail::deterministic_reduce_max(
-      static_cast<index_t>(x.size()), [&](index_t i) { return std::fabs(x[i]); });
+  const auto& o = simd::ops();
+  const double* xp = x.data();
+  return detail::reduce_blocks_max(
+      static_cast<index_t>(x.size()),
+      [&](index_t b, index_t e) { return o.max_abs(xp, b, e); });
 }
 
 /// Max pointwise absolute difference ||x − y||∞.
@@ -180,9 +244,12 @@ inline void scale(std::span<double> x, double alpha) {
                                          std::span<const double> y) {
   require(x.size() == y.size(), "max_abs_diff: size mismatch");
   detail::count_passes(1);
-  return detail::deterministic_reduce_max(
+  const auto& o = simd::ops();
+  const double* xp = x.data();
+  const double* yp = y.data();
+  return detail::reduce_blocks_max(
       static_cast<index_t>(x.size()),
-      [&](index_t i) { return std::fabs(x[i] - y[i]); });
+      [&](index_t b, index_t e) { return o.max_abs_diff(xp, yp, b, e); });
 }
 
 // ---------------------------------------------------------------------------
@@ -192,10 +259,11 @@ inline void scale(std::span<double> x, double alpha) {
 // single memory sweep while preserving *bit-identical* results:
 //  - elementwise updates use exactly the expressions of the primitive
 //    sequence they replace (same association, same sign handling), and
-//  - reductions ride the same deterministic fixed partition as dot()/norm2(),
-//    accumulated in the same per-block serial order,
+//  - reductions ride the same lane-canonical fixed partition as dot()/norm2(),
+//    accumulated in the same per-lane and per-block serial order,
 // so a solver rewritten onto them produces the same trajectory to the last
-// bit at any thread count (pinned by tests/test_kernels.cpp).
+// bit at any thread count and ISA (pinned by tests/test_kernels.cpp and
+// tests/test_simd.cpp).
 // ---------------------------------------------------------------------------
 
 /// Result of the fused CG inner update (see dot_axpy).
@@ -219,19 +287,18 @@ struct DotAxpyResult {
   require(p.size() == q.size() && p.size() == x.size() && p.size() == r.size(),
           "dot_axpy: size mismatch");
   const auto n = static_cast<index_t>(p.size());
+  const auto& o = simd::ops();
   DotAxpyResult res;
   detail::count_passes(1);
-  res.pq = detail::deterministic_reduce_sum(
-      n, [&](index_t i) { return p[i] * q[i]; });
+  res.pq = detail::reduce_blocks_sum(n, [&](index_t b, index_t e) {
+    return o.sum_mul(p.data(), q.data(), b, e);
+  });
   if (res.pq == 0.0 || !std::isfinite(res.pq)) return res;
   res.alpha = rho / res.pq;
   const double alpha = res.alpha;
-  const double nalpha = -alpha;  // exact negation: r[i] += (-alpha)*q[i]
   detail::count_passes(1);
-  res.rr = detail::deterministic_reduce_sum(n, [&](index_t i) {
-    x[i] += alpha * p[i];
-    r[i] += nalpha * q[i];
-    return r[i] * r[i];
+  res.rr = detail::reduce_blocks_sum(n, [&](index_t b, index_t e) {
+    return o.update_xr_sq(alpha, p.data(), q.data(), x.data(), r.data(), b, e);
   });
   res.updated = true;
   return res;
@@ -243,16 +310,17 @@ struct DotAxpyResult {
                                        std::span<double> y) {
   require(x.size() == y.size(), "axpy_norm2: size mismatch");
   detail::count_passes(1);
-  return std::sqrt(detail::deterministic_reduce_sum(
-      static_cast<index_t>(x.size()), [&](index_t i) {
-        y[i] += alpha * x[i];
-        return y[i] * y[i];
+  const auto& o = simd::ops();
+  return std::sqrt(detail::reduce_blocks_sum(
+      static_cast<index_t>(x.size()), [&](index_t b, index_t e) {
+        return o.axpy_sq(alpha, x.data(), y.data(), b, e);
       }));
 }
 
 /// w := x + alpha·y fused with wᵀz of the result. `z` may alias `w` (the
 /// waxpy_norm2 wrapper relies on it: each element is written before it is
-/// read back). One sweep instead of waxpy + dot.
+/// read back); partial overlap is undefined. One sweep instead of
+/// waxpy + dot.
 [[nodiscard]] inline double waxpy_dot(std::span<const double> x, double alpha,
                                       std::span<const double> y,
                                       std::span<double> w,
@@ -260,10 +328,10 @@ struct DotAxpyResult {
   require(x.size() == y.size() && x.size() == w.size() && x.size() == z.size(),
           "waxpy_dot: size mismatch");
   detail::count_passes(1);
-  return detail::deterministic_reduce_sum(
-      static_cast<index_t>(x.size()), [&](index_t i) {
-        w[i] = x[i] + alpha * y[i];
-        return w[i] * z[i];
+  const auto& o = simd::ops();
+  return detail::reduce_blocks_sum(
+      static_cast<index_t>(x.size()), [&](index_t b, index_t e) {
+        return o.waxpy_mul(x.data(), alpha, y.data(), w.data(), z.data(), b, e);
       });
 }
 
@@ -275,20 +343,18 @@ struct DotAxpyResult {
 }
 
 /// Two dot products sharing the left operand — xᵀy and xᵀz in one sweep.
-/// Each result is accumulated in its own partial chain with exactly dot()'s
-/// partition and order, so both match the two-call form bit-for-bit.
+/// Each result is accumulated in its own lane-canonical chain with exactly
+/// dot()'s partition and order, so both match the two-call form bit-for-bit.
 [[nodiscard]] inline std::pair<double, double> dot2(std::span<const double> x,
                                                     std::span<const double> y,
                                                     std::span<const double> z) {
   require(x.size() == y.size() && x.size() == z.size(), "dot2: size mismatch");
   const auto n = static_cast<index_t>(x.size());
   detail::count_passes(1);
+  const auto& o = simd::ops();
   if (n <= detail::kReductionBlockElems) {
     double a = 0.0, b = 0.0;
-    for (index_t i = 0; i < n; ++i) {
-      a += x[i] * y[i];
-      b += x[i] * z[i];
-    }
+    o.sum_mul2(x.data(), y.data(), z.data(), 0, n, &a, &b);
     return {a, b};
   }
   const int blocks = static_cast<int>((n + detail::kReductionBlockElems - 1) /
@@ -299,14 +365,9 @@ struct DotAxpyResult {
   parallel_for(0, blocks, [&](index_t blk) {
     const int k = static_cast<int>(blk);
     const index_t begin = part.offset(k);
-    const index_t end = begin + part.local_size(k);
-    double a = 0.0, b = 0.0;
-    for (index_t i = begin; i < end; ++i) {
-      a += x[i] * y[i];
-      b += x[i] * z[i];
-    }
-    pa[static_cast<std::size_t>(blk)] = a;
-    pb[static_cast<std::size_t>(blk)] = b;
+    o.sum_mul2(x.data(), y.data(), z.data(), begin, begin + part.local_size(k),
+               &pa[static_cast<std::size_t>(blk)],
+               &pb[static_cast<std::size_t>(blk)]);
   });
   double a = 0.0, b = 0.0;
   for (std::size_t k = 0; k < pa.size(); ++k) {
@@ -336,12 +397,10 @@ inline void axpy2(double alpha, std::span<const double> x, double beta,
   require(x.size() == y.size() && x.size() == z.size(),
           "axpy2_norm2: size mismatch");
   detail::count_passes(1);
-  return std::sqrt(detail::deterministic_reduce_sum(
-      static_cast<index_t>(x.size()), [&](index_t i) {
-        const double t = z[i] + alpha * x[i];
-        const double t2 = t + beta * y[i];
-        z[i] = t2;
-        return t2 * t2;
+  const auto& o = simd::ops();
+  return std::sqrt(detail::reduce_blocks_sum(
+      static_cast<index_t>(x.size()), [&](index_t b, index_t e) {
+        return o.axpy2_sq(alpha, x.data(), beta, y.data(), z.data(), b, e);
       }));
 }
 
